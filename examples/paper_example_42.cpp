@@ -1,0 +1,63 @@
+// Paper Section 4.2 walkthrough (full-rank pseudo distance matrix).
+//
+// The loop's distances satisfy d1 - 2*d2 = 4 (variable!), the PDM is
+// [[2,1],[0,2]] with det 4, and Theorem 2 splits the square iteration space
+// into 4 independent sub-spaces (Figure 5) whose offsets are *skewed* by
+// the t1*h12 coupling term. Also exports the ISDGs as Graphviz files.
+#include <fstream>
+#include <iostream>
+
+#include "core/suite.h"
+#include "dep/pdm.h"
+#include "exec/isdg.h"
+#include "exec/verify.h"
+#include "trans/planner.h"
+
+using namespace vdep;
+
+int main() {
+  const intlin::i64 n = 10;
+  loopir::LoopNest nest = core::example42(n);
+
+  std::cout << "== original loop (paper 4.2, reconstructed) ==\n"
+            << nest.to_string() << "\n";
+
+  dep::Pdm pdm = dep::compute_pdm(nest);
+  std::cout << pdm.to_string() << "  det = " << pdm.determinant() << "\n\n";
+
+  trans::TransformPlan plan = trans::plan_transform(pdm);
+  const trans::Partitioning& part = *plan.partition;
+  std::cout << "partitioning into " << part.num_classes()
+            << " residue classes of the lattice " <<
+      part.lattice_basis().to_string() << "\n";
+
+  // Show the skewed offsets (Figure 5): iterations (0,0) and (2,1) share a
+  // class because (2,1) is a lattice generator; (2,0) does not.
+  std::cout << "class of (0,0): " << part.class_id({0, 0})
+            << ", class of (2,1): " << part.class_id({2, 1})
+            << ", class of (2,0): " << part.class_id({2, 0}) << "\n\n";
+
+  // Figure 4 evidence: every dependence arrow jumps a stride >= 2.
+  exec::Isdg g = exec::build_isdg(nest);
+  intlin::Vec stride = g.min_abs_stride();
+  std::cout << "ISDG: " << g.node_count() << " nodes, " << g.edge_count()
+            << " edges; min |stride| per dim = " << intlin::to_string(stride)
+            << " (paper: always > 1 along i1 and/or i2)\n";
+
+  // Figure 5 evidence: the 4 classes are fully independent.
+  exec::Schedule sched = exec::build_schedule(nest, plan);
+  std::cout << "classes: " << sched.parallelism()
+            << ", cross-class dependence edges: " << g.cross_item_edges(sched)
+            << "\n";
+  for (std::size_t k = 0; k < sched.items.size(); ++k)
+    std::cout << "  class " << k << ": " << sched.items[k].size()
+              << " iterations\n";
+
+  exec::VerifyResult v = exec::verify_schedule(nest, sched);
+  std::cout << "trace verification: " << (v.ok ? "legal" : "ILLEGAL") << "\n";
+
+  // Export the ISDG for plotting (neato -n2 renders the layout).
+  std::ofstream("example42_isdg.dot") << g.to_dot();
+  std::cout << "wrote example42_isdg.dot\n";
+  return v.ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Quickstart: parse a loop from the mini-DSL, compute the pseudo distance
+// matrix, derive the legal parallelizing transformation, print the report
+// and the generated OpenMP C code, and prove semantic equivalence by
+// running both versions.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/parallelizer.h"
+#include "dsl/parser.h"
+
+int main() {
+  // The paper's Example 4.1 (reconstructed): variable dependence distances
+  // — every distance is an even multiple of (1,-1), which no constant
+  // distance vector can describe.
+  const char* program = R"(
+# A is written through a nonsingular skewing of the index space and read
+# twice; all dependence distances are (2k, -2k).
+array A[-70:70, -70:70]
+do i1 = -10, 10
+  do i2 = -10, 10
+    A[3*i1 - 2*i2 + 2, -2*i1 + 3*i2 - 2] = A[i1, i2] + A[i1 + 2, i2 - 2] + 1
+  enddo
+enddo
+)";
+
+  vdep::loopir::LoopNest nest = vdep::dsl::parse_loop_nest(program);
+
+  vdep::core::PdmParallelizer parallelizer;
+  vdep::ThreadPool pool(4);
+  // analyze + run sequential and parallel executions, throwing if they
+  // disagree in a single array element.
+  vdep::core::Report report = parallelizer.parallelize_and_check(nest, pool);
+
+  std::cout << report.summary() << "\n";
+  std::cout << "=== generated C (transformed, OpenMP) ===\n"
+            << report.c_transformed << "\n";
+  std::cout << "parallel execution verified against the sequential reference."
+            << std::endl;
+  return 0;
+}

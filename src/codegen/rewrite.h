@@ -1,0 +1,44 @@
+// Rewriting a loop nest under a legal unimodular transformation.
+//
+// Given the original nest over indices i and a unimodular T (j = i*T), this
+// produces the scannable transformed nest over j: bounds come from
+// Fourier-Motzkin elimination on the transformed iteration polytope, the
+// body is rewritten by substituting i = j * T^{-1} into every subscript,
+// and the leading `num_doall` levels are flagged parallel.
+//
+// The transformed nest visits exactly the original iteration set (bijection
+// through T) in lexicographic j-order — legality of that order is exactly
+// what Theorem 1 certified.
+#pragma once
+
+#include "loopir/nest.h"
+#include "trans/planner.h"
+
+namespace vdep::codegen {
+
+using intlin::i64;
+using intlin::Mat;
+using intlin::Vec;
+
+struct TransformedNest {
+  loopir::LoopNest nest;  ///< scannable nest over the new indices j
+  Mat t;                  ///< j = i * T
+  Mat t_inverse;          ///< i = j * T^{-1}
+
+  /// Original iteration for a transformed point.
+  Vec original_iteration(const Vec& j) const;
+  /// Transformed point for an original iteration.
+  Vec transformed_iteration(const Vec& i) const;
+};
+
+/// Rewrites `original` under `t`; the first `num_doall` new levels are
+/// marked parallel. `t` must be unimodular (legality is the caller's
+/// responsibility — use trans::is_legal_transform).
+TransformedNest rewrite_nest(const loopir::LoopNest& original, const Mat& t,
+                             int num_doall);
+
+/// Convenience: rewrite according to a TransformPlan.
+TransformedNest rewrite_nest(const loopir::LoopNest& original,
+                             const trans::TransformPlan& plan);
+
+}  // namespace vdep::codegen

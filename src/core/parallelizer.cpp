@@ -1,0 +1,86 @@
+#include "core/parallelizer.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::core {
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << "=== vdep parallelization report ===\n";
+  os << "-- original nest --\n" << nest.to_string();
+  os << "-- dependence analysis --\n";
+  if (pdm.pairs().empty()) {
+    os << "no dependent reference pairs\n";
+  } else {
+    for (const dep::DepPair& p : pdm.pairs()) {
+      os << dep::to_string(p.kind) << ": S" << p.stmt_a + 1 << " "
+         << p.a.to_string(nest.index_names()) << "  <->  S" << p.stmt_b + 1
+         << " " << p.b.to_string(nest.index_names())
+         << (p.solution.is_uniform() ? "  [uniform]" : "  [variable]") << "\n";
+      os << "    delta0 = " << intlin::to_string(p.solution.offset)
+         << ", generators = " << p.solution.generators.to_string() << "\n";
+    }
+  }
+  os << pdm.to_string() << "\n";
+  os << "-- transformation (Theorem 1 legal) --\n";
+  os << "T = " << plan.t.to_string() << ",  H*T = "
+     << plan.transformed_pdm.to_string() << "\n";
+  if (!plan.algorithm1_ops.empty()) {
+    os << "Algorithm 1 ops:";
+    for (const std::string& op : plan.algorithm1_ops) os << " " << op;
+    os << "\n";
+  }
+  os << "-- parallel structure --\n";
+  os << doall_loops << " outer DOALL loop(s), " << partition_classes
+     << " independent partition class(es)\n";
+  if (work_items > 0) {
+    os << "measured: " << work_items << " independent work items, longest "
+       << max_item << " of " << total_iterations << " iterations\n";
+  }
+  os << "-- transformed nest --\n" << transformed.nest.to_string();
+  return os.str();
+}
+
+Report PdmParallelizer::analyze(const loopir::LoopNest& nest) const {
+  Report r;
+  r.nest = nest;
+  r.pdm = dep::compute_pdm(nest);
+  r.transformed =
+      codegen::TransformedNest{nest, intlin::Mat::identity(nest.depth()),
+                               intlin::Mat::identity(nest.depth())};
+  r.plan = trans::plan_transform(r.pdm);
+  r.transformed = codegen::rewrite_nest(nest, r.plan);
+  r.doall_loops = r.plan.num_doall;
+  r.partition_classes = r.plan.partition_classes;
+
+  if (opts_.measure) {
+    exec::Schedule sched = exec::build_schedule(nest, r.plan);
+    r.work_items = sched.parallelism();
+    r.max_item = sched.max_item_size();
+    r.total_iterations = sched.total_iterations();
+  }
+  if (opts_.emit_c) {
+    codegen::EmitOptions eo;
+    eo.openmp = opts_.openmp;
+    r.c_original = codegen::emit_c_original(nest, eo);
+    r.c_transformed = codegen::emit_c_transformed(nest, r.plan, eo);
+  }
+  return r;
+}
+
+Report PdmParallelizer::parallelize_and_check(const loopir::LoopNest& nest,
+                                              ThreadPool& pool) const {
+  Report r = analyze(nest);
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore par = ref;
+  exec::run_sequential(nest, ref);
+  exec::run_parallel(nest, r.plan, par, pool);
+  VDEP_CHECK(ref == par,
+             "parallel execution diverged from the sequential reference");
+  return r;
+}
+
+}  // namespace vdep::core

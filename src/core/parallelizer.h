@@ -1,0 +1,75 @@
+// PdmParallelizer — the paper's contribution as a single public entry
+// point: analyze a perfectly nested affine loop, derive the pseudo distance
+// matrix, choose a legal transformation (Algorithm 1 + Theorem 2), generate
+// the transformed code and report the exploited parallelism.
+//
+//   vdep::core::PdmParallelizer p;
+//   vdep::core::Report r = p.analyze(nest);
+//   std::cout << r.summary();          // PDM, transform, doall, classes
+//   std::cout << r.c_transformed;      // compilable C with omp pragmas
+#pragma once
+
+#include <string>
+
+#include "baselines/baseline.h"
+#include "codegen/emit_c.h"
+#include "exec/runner.h"
+
+namespace vdep::core {
+
+using intlin::i64;
+
+struct Report {
+  /// The analyzed nest (copy, for printing).
+  loopir::LoopNest nest;
+  /// Pseudo distance matrix (Section 2).
+  dep::Pdm pdm;
+  /// Legal transformation plan (Section 3).
+  trans::TransformPlan plan;
+  /// Rewritten nest over the transformed indices.
+  codegen::TransformedNest transformed;
+
+  /// Static parallel structure: number of leading DOALL loops and
+  /// partition classes (DOALL width is bounds-dependent).
+  int doall_loops = 0;
+  i64 partition_classes = 1;
+
+  /// Measured on the bounded nest: independent work items and the longest
+  /// sequential item (the parallel makespan in iteration counts).
+  i64 work_items = 0;
+  i64 max_item = 0;
+  i64 total_iterations = 0;
+
+  /// Generated sources (empty when Options::emit_c is false).
+  std::string c_original;
+  std::string c_transformed;
+
+  /// Multi-section human-readable report (what the FPT compiler would log).
+  std::string summary() const;
+};
+
+class PdmParallelizer {
+ public:
+  struct Options {
+    bool emit_c = true;       ///< generate C sources in the report
+    bool openmp = true;       ///< annotate generated C with omp pragmas
+    bool measure = true;      ///< build the schedule to measure parallelism
+  };
+
+  PdmParallelizer() = default;
+  explicit PdmParallelizer(Options opts) : opts_(opts) {}
+
+  /// Full analysis pipeline; pure (does not execute the loop).
+  Report analyze(const loopir::LoopNest& nest) const;
+
+  /// Analysis + execution proof: runs the original sequentially and the
+  /// plan in parallel on `pool`, throwing InternalError if the final
+  /// stores diverge. Returns the report.
+  Report parallelize_and_check(const loopir::LoopNest& nest,
+                               ThreadPool& pool) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace vdep::core

@@ -1,0 +1,152 @@
+#include "core/suite.h"
+
+namespace vdep::core {
+
+using loopir::AffineExpr;
+using loopir::Bound;
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+using intlin::Vec;
+
+LoopNest example41(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 5 * n + 10;
+  b.array("A", {{-ext, ext}, {-ext, ext}});
+  b.assign(b.ref("A", {b.affine({3, -2}, 2), b.affine({-2, 3}, -2)}),
+           Expr::add(Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                               b.read("A", {b.affine({1, 0}, 2),
+                                            b.affine({0, 1}, -2)})),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest example42(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 3 * n + 10;
+  b.array("A", {{-ext, ext}});
+  b.array("B", {{-n, n}, {-n, n}});
+  b.assign(b.ref("A", {b.affine({1, -2}, 4)}),
+           Expr::add(b.read("A", {b.affine({1, -2}, 0)}), Expr::constant(1)));
+  b.assign(b.ref("B", {b.idx(0), b.idx(1)}),
+           b.read("A", {b.affine({1, -2}, 8)}));
+  return b.build();
+}
+
+LoopNest uniform_wavefront(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n).loop("i2", 0, n);
+  b.array("A", {{-1, n}, {-1, n}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           Expr::add(b.read("A", {b.affine({1, 0}, -1), b.idx(1)}),
+                     b.read("A", {b.idx(0), b.affine({0, 1}, -1)})));
+  return b.build();
+}
+
+LoopNest uniform_blocked(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n).loop("i2", 0, n);
+  b.array("A", {{-4, n + 4}, {-4, n + 4}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 2), b.idx(1)}),
+           Expr::add(b.read("A", {b.idx(0), b.affine({0, 1}, -2)}),
+                     b.read("A", {b.affine({1, 0}, 2), b.affine({0, 1}, 2)})));
+  return b.build();
+}
+
+LoopNest zero_column(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n).loop("i2", 0, n);
+  b.array("A", {{0, n + 1}, {0, n}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 1), b.idx(1)}),
+           b.read("A", {b.idx(0), b.idx(1)}));
+  return b.build();
+}
+
+LoopNest parity_independent(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n).loop("i2", 0, n);
+  b.array("A", {{-1, 2 * n + 2}, {0, n}});
+  b.assign(b.ref("A", {b.affine({2, 0}, 0), b.idx(1)}),
+           Expr::add(b.read("A", {b.affine({2, 0}, 1), b.idx(1)}),
+                     Expr::constant(3)));
+  return b.build();
+}
+
+LoopNest sequential_chain(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n);
+  b.array("A", {{0, n + 1}});
+  b.assign(b.ref("A", {b.affine({1}, 1)}),
+           Expr::add(b.read("A", {b.idx(0)}), Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest variable_3deep(i64 n) {
+  // Example 4.1 lifted to three dimensions: the write's linear part is
+  // nonsingular, distances are (2s+2)(1,-1,0) with s = i1-i2 — a rank-1
+  // PDM [2 -2 0], so Algorithm 1 exposes two DOALL loops and the trailing
+  // block still partitions by 2.
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n).loop("i3", 0, n);
+  i64 ext = 5 * n + 10;
+  b.array("A", {{-ext, ext}, {-ext, ext}, {0, n}});
+  b.assign(b.ref("A", {b.affine({3, -2, 0}, 2), b.affine({-2, 3, 0}, -2),
+                       b.idx(2)}),
+           Expr::add(b.read("A", {b.idx(0), b.idx(1), b.idx(2)}),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest triangular_uniform(i64 n) {
+  // do i1 = 0, n; do i2 = i1, n: A[i1][i2] = A[i1-1][i2] + 1.
+  LoopNestBuilder b;
+  b.loop("i1", 0, n);
+  b.loop("i2", Bound(AffineExpr(Vec{1, 0}, 0)), Bound(AffineExpr::constant(2, n)));
+  b.array("A", {{-1, n}, {0, n}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           Expr::add(b.read("A", {b.affine({1, 0}, -1), b.idx(1)}),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest matmul_reduction(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i", 0, n).loop("j", 0, n).loop("k", 0, n);
+  b.array("C", {{0, n}, {0, n}});
+  b.array("A", {{0, n}, {0, n}});
+  b.array("B", {{0, n}, {0, n}});
+  b.assign(b.ref("C", {b.idx(0), b.idx(1)}),
+           Expr::add(b.read("C", {b.idx(0), b.idx(1)}),
+                     Expr::mul(b.read("A", {b.idx(0), b.idx(2)}),
+                               b.read("B", {b.idx(2), b.idx(1)}))));
+  return b.build();
+}
+
+std::vector<NamedNest> paper_suite(i64 n) {
+  return {
+      {"example_4_1", "paper §4.1: variable distance, rank-1 PDM [2 -2]",
+       example41(n)},
+      {"example_4_2", "paper §4.2: variable distance, full-rank PDM det 4",
+       example42(n)},
+      {"uniform_wavefront", "A[i][j] = A[i-1][j] + A[i][j-1]",
+       uniform_wavefront(n)},
+      {"uniform_blocked", "uniform distances (2,0), (0,2): det-4 partitioning",
+       uniform_blocked(n)},
+      {"zero_column", "A[i1+1, i2] = A[i1, i2]: inner loop DOALL as written",
+       zero_column(n)},
+      {"parity_independent", "writes even, reads odd: dependence-free",
+       parity_independent(n)},
+      {"sequential_chain", "A[i+1] = A[i]: fully sequential",
+       sequential_chain(n)},
+      {"variable_3deep", "3-deep, rank-1 PDM: two DOALL loops",
+       variable_3deep(n)},
+      {"triangular_uniform", "triangular bounds, uniform carried dependence",
+       triangular_uniform(n)},
+      {"matmul_reduction", "C[i,j] += A[i,k]*B[k,j]: i,j DOALL, k serial",
+       matmul_reduction(n)},
+  };
+}
+
+}  // namespace vdep::core

@@ -1,0 +1,95 @@
+#include "dep/classic_tests.h"
+
+#include "poly/constraints.h"
+#include "poly/fourier_motzkin.h"
+#include "support/error.h"
+
+namespace vdep::dep {
+
+bool gcd_test(const loopir::ArrayRef& a, const loopir::ArrayRef& b) {
+  VDEP_REQUIRE(a.array == b.array && a.arity() == b.arity(),
+               "gcd_test on incompatible references");
+  Mat f = a.linear_part();
+  Mat g = b.linear_part();
+  Vec f0 = a.constant_part();
+  Vec g0 = b.constant_part();
+  for (int dim = 0; dim < f.rows(); ++dim) {
+    i64 gcd = 0;
+    for (int k = 0; k < f.cols(); ++k) {
+      gcd = checked::gcd(gcd, f.at(dim, k));
+      gcd = checked::gcd(gcd, g.at(dim, k));
+    }
+    i64 c = checked::sub(g0[static_cast<std::size_t>(dim)],
+                         f0[static_cast<std::size_t>(dim)]);
+    if (gcd == 0) {
+      if (c != 0) return false;  // 0 = c unsolvable
+      continue;
+    }
+    if (c % gcd != 0) return false;
+  }
+  return true;
+}
+
+bool exact_equation_test(const loopir::ArrayRef& a, const loopir::ArrayRef& b) {
+  return solve_pair(a, b).exists;
+}
+
+namespace {
+
+// Rectangular hull [lo_k, hi_k] of each loop from its bound extremes.
+// For affine (triangular) bounds this uses FM to get the global range.
+std::vector<std::pair<i64, i64>> iteration_box(const loopir::LoopNest& nest) {
+  poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(nest);
+  std::vector<std::pair<i64, i64>> box;
+  for (int k = 0; k < nest.depth(); ++k) {
+    auto r = cs.variable_range(k);
+    VDEP_REQUIRE(r.has_value(), "iteration space unbounded in loop " +
+                                    nest.level(k).name);
+    box.push_back(*r);
+  }
+  return box;
+}
+
+}  // namespace
+
+bool banerjee_test(const loopir::LoopNest& nest, const loopir::ArrayRef& a,
+                   const loopir::ArrayRef& b) {
+  VDEP_REQUIRE(a.array == b.array && a.arity() == b.arity(),
+               "banerjee_test on incompatible references");
+  auto box = iteration_box(nest);
+  Mat f = a.linear_part();
+  Mat g = b.linear_part();
+  Vec f0 = a.constant_part();
+  Vec g0 = b.constant_part();
+  // Dependence form per array dimension: sum_k f_k * i_k - sum_k g_k * j_k
+  // must equal c = g0 - f0 for some i, j in the box. Independence proof:
+  // c outside [min, max] of the form.
+  for (int dim = 0; dim < f.rows(); ++dim) {
+    i64 lo = 0, hi = 0;
+    for (int k = 0; k < f.cols(); ++k) {
+      auto [bl, bh] = box[static_cast<std::size_t>(k)];
+      i64 fc = f.at(dim, k);
+      lo = checked::add(lo, checked::mul(fc, fc >= 0 ? bl : bh));
+      hi = checked::add(hi, checked::mul(fc, fc >= 0 ? bh : bl));
+      i64 gc = checked::neg(g.at(dim, k));
+      lo = checked::add(lo, checked::mul(gc, gc >= 0 ? bl : bh));
+      hi = checked::add(hi, checked::mul(gc, gc >= 0 ? bh : bl));
+    }
+    i64 c = checked::sub(g0[static_cast<std::size_t>(dim)],
+                         f0[static_cast<std::size_t>(dim)]);
+    if (c < lo || c > hi) return false;
+  }
+  return true;
+}
+
+TestVerdicts run_all_tests(const loopir::LoopNest& nest,
+                           const loopir::ArrayRef& a,
+                           const loopir::ArrayRef& b) {
+  TestVerdicts v;
+  v.gcd = gcd_test(a, b);
+  v.banerjee = banerjee_test(nest, a, b);
+  v.exact = exact_equation_test(a, b);
+  return v;
+}
+
+}  // namespace vdep::dep

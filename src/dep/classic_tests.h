@@ -1,0 +1,44 @@
+// Classical dependence tests, kept as baselines for the related-work
+// comparison (paper Table 1) and as cheap pre-filters:
+//
+//  * per-dimension GCD test (Banerjee/Wolfe): a necessary integer condition
+//    checked one array dimension at a time;
+//  * exact multi-dimensional equation test: the echelon solver of
+//    dep/dependence.h (subsumes the GCD test);
+//  * Banerjee bounds test: real-valued min/max of the dependence form over
+//    the iteration box — a necessary *real* condition using loop bounds.
+#pragma once
+
+#include "dep/dependence.h"
+#include "support/rational.h"
+
+namespace vdep::dep {
+
+/// Per-dimension GCD test. Returns false only when some array dimension has
+/// gcd(coefficients) not dividing the constant difference — a proof of
+/// independence. True means "dependence not disproved".
+bool gcd_test(const loopir::ArrayRef& a, const loopir::ArrayRef& b);
+
+/// Exact equation test: integer solutions to the full (coupled) system
+/// exist. Strictly stronger than gcd_test.
+bool exact_equation_test(const loopir::ArrayRef& a, const loopir::ArrayRef& b);
+
+/// Banerjee bounds test over the rectangular hull of the iteration space of
+/// `nest` (bounds of each loop evaluated to their extreme constants): for
+/// each array dimension, the constant must lie between the real min and max
+/// of the dependence form. Returns false only on a proof of independence.
+bool banerjee_test(const loopir::LoopNest& nest, const loopir::ArrayRef& a,
+                   const loopir::ArrayRef& b);
+
+/// Convenience: combined verdict for a pair in a nest, ordered weakest to
+/// strongest (gcd -> banerjee -> exact).
+struct TestVerdicts {
+  bool gcd = true;
+  bool banerjee = true;
+  bool exact = true;
+};
+TestVerdicts run_all_tests(const loopir::LoopNest& nest,
+                           const loopir::ArrayRef& a,
+                           const loopir::ArrayRef& b);
+
+}  // namespace vdep::dep

@@ -1,0 +1,104 @@
+#include "dep/dependence.h"
+
+#include "support/error.h"
+
+namespace vdep::dep {
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow:
+      return "flow";
+    case DepKind::kAnti:
+      return "anti";
+    case DepKind::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+Lattice PairDependence::pdm_lattice() const {
+  VDEP_REQUIRE(exists, "pdm_lattice of a non-existent dependence");
+  Mat gens = generators;
+  gens.push_row(offset);
+  return Lattice::from_generators(gens);
+}
+
+bool PairDependence::admits_distance(const Vec& d) const {
+  if (!exists) return false;
+  Lattice hom = Lattice::from_generators(generators);
+  if (hom.contains(intlin::sub(d, offset))) return true;
+  Vec nd = intlin::negate(d);
+  return hom.contains(intlin::sub(nd, offset));
+}
+
+bool PairDependence::is_uniform() const {
+  if (!exists) return false;
+  return intlin::echelon_reduce(generators).rank == 0;
+}
+
+PairDependence solve_pair(const loopir::ArrayRef& a, const loopir::ArrayRef& b) {
+  VDEP_REQUIRE(a.array == b.array, "dependence pair on different arrays");
+  VDEP_REQUIRE(a.arity() == b.arity(), "dependence pair arity mismatch");
+
+  Mat f = a.linear_part();  // m x n (column convention)
+  Mat g = b.linear_part();
+  int n = f.cols();
+  int m = f.rows();
+
+  PairDependence out;
+  out.depth = n;
+
+  // (i, j) * [F^T; -G^T] = g0 - f0.
+  Mat stacked(2 * n, m);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < m; ++c) {
+      stacked.at(r, c) = f.at(c, r);
+      stacked.at(n + r, c) = checked::neg(g.at(c, r));
+    }
+  Vec rhs = intlin::sub(b.constant_part(), a.constant_part());
+
+  intlin::RowSolution sol = intlin::solve_row_system(stacked, rhs);
+  if (!sol.solvable) return out;
+
+  out.exists = true;
+  // Project x = (i, j) onto d = j - i: d = x * S with S = [-I; I].
+  auto project = [n](const Vec& x) {
+    Vec d(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+      d[static_cast<std::size_t>(k)] =
+          checked::sub(x[static_cast<std::size_t>(n + k)],
+                       x[static_cast<std::size_t>(k)]);
+    return d;
+  };
+  out.offset = project(sol.particular);
+  out.generators = Mat(0, n);
+  for (int r = 0; r < sol.homogeneous.rows(); ++r)
+    out.generators.push_row(project(sol.homogeneous.row(r)));
+  return out;
+}
+
+std::vector<DepPair> dependent_pairs(const loopir::LoopNest& nest) {
+  std::vector<DepPair> out;
+  auto accesses = nest.accesses();
+  for (std::size_t x = 0; x < accesses.size(); ++x) {
+    for (std::size_t y = 0; y < accesses.size(); ++y) {
+      const auto& src = accesses[x];
+      const auto& dst = accesses[y];
+      if (src.ref.array != dst.ref.array) continue;
+      if (!src.is_write && !dst.is_write) continue;  // input deps don't order
+      // Unordered pair handled once: the distance lattice covers both
+      // directions (±). Keep x <= y over the access list.
+      if (x > y) continue;
+      DepKind kind = src.is_write && dst.is_write ? DepKind::kOutput
+                     : src.is_write              ? DepKind::kFlow
+                                                 : DepKind::kAnti;
+      PairDependence sol = solve_pair(src.ref, dst.ref);
+      if (!sol.exists) continue;
+      out.push_back(DepPair{src.ref, dst.ref, src.statement, dst.statement,
+                            kind, std::move(sol)});
+    }
+  }
+  return out;
+}
+
+}  // namespace vdep::dep

@@ -1,0 +1,80 @@
+// Dependence equations between two affine array references and their exact
+// integer solution (paper Section 2.2).
+//
+// For references a(i) = F*i + f0 (accessed at iteration i) and
+// b(j) = G*j + g0 (accessed at iteration j), the two touch the same element
+// iff (i,j) * [F^T; -G^T] = g0 - f0 — a linear Diophantine row system.
+// Solving it with the echelon machinery yields the full solution set; its
+// projection onto d = j - i is an *affine distance lattice*
+//     d in delta0 + row-lattice(G_d)
+// which is the paper's equation (2.13): the distance between dependent
+// iterations is variable, but structured.
+#pragma once
+
+#include "intlin/diophantine.h"
+#include "intlin/lattice.h"
+#include "loopir/nest.h"
+
+namespace vdep::dep {
+
+using intlin::i64;
+using intlin::Lattice;
+using intlin::Mat;
+using intlin::Vec;
+
+/// Classification of a dependence between two references.
+enum class DepKind {
+  kFlow,    ///< write at source, read at sink
+  kAnti,    ///< read at source, write at sink
+  kOutput,  ///< write at both
+};
+
+const char* to_string(DepKind k);
+
+/// Exact solution of the dependence equations for one ordered reference
+/// pair, ignoring loop bounds (the paper's unbounded analysis: bounds enter
+/// only at code generation).
+struct PairDependence {
+  bool exists = false;  ///< integer solutions exist at all (exact test)
+  int depth = 0;        ///< loop depth n
+
+  /// A particular distance delta0 = j0 - i0 (any solution).
+  Vec offset;
+  /// Rows generate the homogeneous distance lattice (the U_phi * S rows of
+  /// equation (2.13)); the full distance set is offset + lattice(generators),
+  /// taken in both signs.
+  Mat generators;
+
+  /// The pair's contribution to the PDM: lattice(generators ∪ {offset}) —
+  /// equation (2.15)/(2.17). Contains every direct and transitive distance.
+  Lattice pdm_lattice() const;
+
+  /// Whether distance d (or -d) can separate two dependent iterations in an
+  /// unbounded nest: d ∈ ±(offset + lattice(generators)).
+  bool admits_distance(const Vec& d) const;
+
+  /// True iff the distance is a single constant vector (Corollary 5):
+  /// generators empty — both linear parts nonsingular and equal rank.
+  bool is_uniform() const;
+};
+
+/// Solve the dependence equations for references a (at iteration i) and
+/// b (at iteration j). Both must have the same array and arity.
+PairDependence solve_pair(const loopir::ArrayRef& a, const loopir::ArrayRef& b);
+
+/// A dependent reference pair discovered in a loop nest.
+struct DepPair {
+  loopir::ArrayRef a;
+  loopir::ArrayRef b;
+  int stmt_a = 0;
+  int stmt_b = 0;
+  DepKind kind = DepKind::kFlow;
+  PairDependence solution;
+};
+
+/// All dependent pairs of the nest: every (write, write) and (write, read)
+/// combination on the same array, including a reference paired with itself,
+/// keeping only pairs whose equations are solvable.
+std::vector<DepPair> dependent_pairs(const loopir::LoopNest& nest);
+
+}  // namespace vdep::dep

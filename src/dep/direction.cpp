@@ -1,0 +1,136 @@
+#include "dep/direction.h"
+
+#include <algorithm>
+#include <set>
+
+#include "poly/constraints.h"
+#include "poly/fourier_motzkin.h"
+#include "support/error.h"
+
+namespace vdep::dep {
+
+std::string to_string(const DirectionVector& dv) {
+  std::string s = "(";
+  for (std::size_t k = 0; k < dv.size(); ++k) {
+    if (k) s += ",";
+    s += dv[k] == Dir::kLt ? "<" : dv[k] == Dir::kEq ? "=" : ">";
+  }
+  return s + ")";
+}
+
+bool lex_positive(const DirectionVector& dv) {
+  for (Dir d : dv) {
+    if (d == Dir::kLt) return true;
+    if (d == Dir::kGt) return false;
+  }
+  return false;  // all "=" is zero, not positive
+}
+
+namespace {
+
+// Builds the (i, j) system: i and j inside the nest bounds plus the
+// dependence equalities a(i) == b(j).
+poly::ConstraintSystem pair_system(const loopir::LoopNest& nest,
+                                   const loopir::ArrayRef& a,
+                                   const loopir::ArrayRef& b) {
+  int n = nest.depth();
+  poly::ConstraintSystem base = poly::ConstraintSystem::from_nest(nest);
+  poly::ConstraintSystem cs(2 * n);
+  for (const poly::Constraint& c : base.constraints()) {
+    // Bounds on i (variables 0..n-1).
+    Vec ci(static_cast<std::size_t>(2 * n), 0);
+    for (int k = 0; k < n; ++k) ci[static_cast<std::size_t>(k)] = c.coeffs[static_cast<std::size_t>(k)];
+    cs.add(std::move(ci), c.rhs);
+    // Bounds on j (variables n..2n-1).
+    Vec cj(static_cast<std::size_t>(2 * n), 0);
+    for (int k = 0; k < n; ++k) cj[static_cast<std::size_t>(n + k)] = c.coeffs[static_cast<std::size_t>(k)];
+    cs.add(std::move(cj), c.rhs);
+  }
+  Mat f = a.linear_part();
+  Mat g = b.linear_part();
+  Vec f0 = a.constant_part();
+  Vec g0 = b.constant_part();
+  for (int dim = 0; dim < f.rows(); ++dim) {
+    // f_dim . i - g_dim . j == g0 - f0, as <= and >=.
+    Vec row(static_cast<std::size_t>(2 * n), 0);
+    for (int k = 0; k < n; ++k) {
+      row[static_cast<std::size_t>(k)] = f.at(dim, k);
+      row[static_cast<std::size_t>(n + k)] = checked::neg(g.at(dim, k));
+    }
+    i64 c = checked::sub(g0[static_cast<std::size_t>(dim)],
+                         f0[static_cast<std::size_t>(dim)]);
+    cs.add(row, c);
+    cs.add(intlin::negate(row), checked::neg(c));
+  }
+  return cs;
+}
+
+void refine(const loopir::LoopNest& nest, const poly::ConstraintSystem& cs,
+            const PairDependence& sol, DirectionVector& prefix, int level,
+            std::vector<DirectionVector>* out) {
+  int n = nest.depth();
+  if (level == n) {
+    out->push_back(prefix);
+    return;
+  }
+  for (Dir d : {Dir::kLt, Dir::kEq, Dir::kGt}) {
+    poly::ConstraintSystem refined = cs;
+    Vec row(static_cast<std::size_t>(2 * n), 0);
+    row[static_cast<std::size_t>(level)] = 1;                 // i_k
+    row[static_cast<std::size_t>(n + level)] = -1;            // -j_k
+    switch (d) {
+      case Dir::kLt:  // j_k - i_k >= 1  <=>  i_k - j_k <= -1
+        refined.add(row, -1);
+        break;
+      case Dir::kEq:
+        refined.add(row, 0);
+        refined.add(intlin::negate(row), 0);
+        break;
+      case Dir::kGt:  // i_k - j_k >= 1  <=>  j_k - i_k <= -1
+        refined.add(intlin::negate(row), -1);
+        break;
+    }
+    if (poly::relaxation_infeasible(refined)) continue;
+    prefix.push_back(d);
+    refine(nest, refined, sol, prefix, level + 1, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<DirectionVector> direction_vectors(const loopir::LoopNest& nest,
+                                               const loopir::ArrayRef& a,
+                                               const loopir::ArrayRef& b) {
+  PairDependence sol = solve_pair(a, b);
+  if (!sol.exists) return {};
+  poly::ConstraintSystem cs = pair_system(nest, a, b);
+  std::vector<DirectionVector> out;
+  DirectionVector prefix;
+  refine(nest, cs, sol, prefix, 0, &out);
+  return out;
+}
+
+std::vector<DirectionVector> nest_direction_vectors(const loopir::LoopNest& nest) {
+  std::set<DirectionVector> dedup;
+  for (const DepPair& p : dependent_pairs(nest)) {
+    for (DirectionVector dv : direction_vectors(nest, p.a, p.b)) {
+      // Orient ">"-leading vectors by flipping source and sink.
+      DirectionVector oriented = dv;
+      for (std::size_t k = 0; k < dv.size(); ++k) {
+        if (dv[k] == Dir::kEq) continue;
+        if (dv[k] == Dir::kGt) {
+          for (auto& e : oriented)
+            e = e == Dir::kLt ? Dir::kGt : e == Dir::kGt ? Dir::kLt : Dir::kEq;
+        }
+        break;
+      }
+      bool all_eq = std::all_of(oriented.begin(), oriented.end(),
+                                [](Dir d) { return d == Dir::kEq; });
+      if (!all_eq) dedup.insert(std::move(oriented));
+    }
+  }
+  return {dedup.begin(), dedup.end()};
+}
+
+}  // namespace vdep::dep

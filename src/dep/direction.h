@@ -1,0 +1,42 @@
+// Hierarchical direction-vector computation (Wolf & Lam style).
+//
+// A direction vector assigns each loop level one of {<, =, >, *}; the
+// dependence "i -> j with sign(j_k - i_k) matching the symbol at every k".
+// This is the dependence abstraction of the Wolf/Lam baseline in Table 1 —
+// strictly less precise than the PDM for linear subscripts, which is the
+// comparison the paper draws.
+//
+// Feasibility of a candidate vector combines (a) the exact integer equation
+// test and (b) rational feasibility of the sign-constrained system over the
+// iteration bounds (Fourier-Motzkin), the standard practical compromise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dep/dependence.h"
+
+namespace vdep::dep {
+
+enum class Dir : unsigned char { kLt, kEq, kGt };
+
+using DirectionVector = std::vector<Dir>;
+
+std::string to_string(const DirectionVector& dv);
+
+/// All feasible direction vectors of the (a, b) pair within the bounds of
+/// `nest`, in lexicographic (<, =, >) order. The all-"=" vector (loop
+/// independent) is included when feasible.
+std::vector<DirectionVector> direction_vectors(const loopir::LoopNest& nest,
+                                               const loopir::ArrayRef& a,
+                                               const loopir::ArrayRef& b);
+
+/// Direction vectors of every dependent pair in the nest, deduplicated and
+/// restricted to lexicographically non-negative vectors (a ">" first
+/// component is re-oriented by swapping source and sink).
+std::vector<DirectionVector> nest_direction_vectors(const loopir::LoopNest& nest);
+
+/// Lexicographically positive: some "<" before any ">".
+bool lex_positive(const DirectionVector& dv);
+
+}  // namespace vdep::dep

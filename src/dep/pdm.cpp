@@ -1,0 +1,53 @@
+#include "dep/pdm.h"
+
+#include <sstream>
+
+#include "intlin/det.h"
+#include "support/error.h"
+
+namespace vdep::dep {
+
+Pdm::Pdm(int depth, Mat h, std::vector<DepPair> pairs)
+    : depth_(depth), h_(std::move(h)), pairs_(std::move(pairs)) {
+  VDEP_REQUIRE(h_.cols() == depth, "PDM width must equal loop depth");
+  VDEP_REQUIRE(intlin::is_hermite_normal_form(h_) || h_.rows() == 0,
+               "PDM must be in Hermite normal form");
+}
+
+std::vector<int> Pdm::zero_columns() const {
+  std::vector<int> out;
+  for (int c = 0; c < depth_; ++c)
+    if (column_is_zero(c)) out.push_back(c);
+  return out;
+}
+
+i64 Pdm::determinant() const {
+  VDEP_REQUIRE(full_rank(), "PDM determinant requires full rank");
+  return intlin::determinant(h_);
+}
+
+bool Pdm::all_uniform() const {
+  for (const DepPair& p : pairs_)
+    if (!p.solution.is_uniform()) return false;
+  return true;
+}
+
+std::string Pdm::to_string() const {
+  std::ostringstream os;
+  os << "PDM (depth " << depth_ << ", rank " << rank() << "): "
+     << h_.to_string();
+  return os.str();
+}
+
+Pdm compute_pdm(const loopir::LoopNest& nest) {
+  std::vector<DepPair> pairs = dependent_pairs(nest);
+  Mat stacked(0, nest.depth());
+  for (const DepPair& p : pairs) {
+    Mat basis = p.solution.pdm_lattice().basis();
+    for (int r = 0; r < basis.rows(); ++r) stacked.push_row(basis.row(r));
+  }
+  Mat h = intlin::hermite_normal_form(stacked);
+  return Pdm(nest.depth(), std::move(h), std::move(pairs));
+}
+
+}  // namespace vdep::dep

@@ -1,0 +1,58 @@
+// The Pseudo Distance Matrix (paper Section 2.3).
+//
+// Every dependence distance in the loop — direct or transitive, for every
+// reference pair — is an integer combination of the rows of the PDM. The
+// PDM is the Hermite Normal Form of the stacked per-pair lattice generators
+// (equation (2.21)), so its rows are lexicographically positive and it is
+// canonical for the loop's distance lattice.
+#pragma once
+
+#include "dep/dependence.h"
+
+namespace vdep::dep {
+
+class Pdm {
+ public:
+  /// Empty placeholder (depth 0) so report structs can default-construct.
+  Pdm() = default;
+  /// The trivial PDM of a dependence-free nest: zero rows.
+  explicit Pdm(int depth) : depth_(depth), h_(0, depth) {}
+  Pdm(int depth, Mat h, std::vector<DepPair> pairs);
+
+  int depth() const { return depth_; }
+  /// The PDM itself: an HNF with rank() lexicographically positive rows.
+  const Mat& matrix() const { return h_; }
+  int rank() const { return h_.rows(); }
+  bool full_rank() const { return rank() == depth_; }
+  bool empty() const { return rank() == 0; }
+
+  /// Lemma 1: a zero column means the corresponding loop is DOALL as-is.
+  bool column_is_zero(int k) const { return h_.col_is_zero(k); }
+  std::vector<int> zero_columns() const;
+
+  /// The loop's distance lattice (row lattice of the PDM).
+  Lattice lattice() const { return Lattice::from_generators(h_); }
+
+  /// det of the PDM when full rank: the partition count of Theorem 2.
+  i64 determinant() const;
+
+  /// Per-pair analysis details (reporting / diagnostics).
+  const std::vector<DepPair>& pairs() const { return pairs_; }
+
+  /// True iff every pair has a single constant distance vector — the
+  /// classical uniform-dependence case (Corollary 5).
+  bool all_uniform() const;
+
+  std::string to_string() const;
+
+ private:
+  int depth_ = 0;
+  Mat h_;
+  std::vector<DepPair> pairs_;
+};
+
+/// Analyze the nest: solve every pair and merge the per-pair lattices into
+/// the loop PDM (equation (2.21)).
+Pdm compute_pdm(const loopir::LoopNest& nest);
+
+}  // namespace vdep::dep

@@ -1,0 +1,36 @@
+// A miniature Fortran-like front end (the role FPT plays for the paper).
+//
+//   array A[-60:60, -60:60]        # optional: shapes are inferred otherwise
+//   do i1 = -10, 10
+//     do i2 = -10, 10
+//       A[3*i1 - 2*i2 + 2, -2*i1 + 3*i2 - 2] = A[i1, i2] + 1
+//     enddo
+//   enddo
+//
+// Rules: perfectly nested loops; bounds and subscripts must be affine in
+// the loop indices; `#` starts a comment. Arrays that are not declared get
+// shapes inferred from the extreme subscript values over the iteration
+// space (with a small safety margin).
+#pragma once
+
+#include <string>
+
+#include "loopir/nest.h"
+
+namespace vdep::dsl {
+
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error (line " + std::to_string(line) + "): " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a program into a validated loop nest.
+loopir::LoopNest parse_loop_nest(const std::string& source);
+
+}  // namespace vdep::dsl

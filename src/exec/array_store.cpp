@@ -1,0 +1,64 @@
+#include "exec/array_store.h"
+
+#include "support/error.h"
+
+namespace vdep::exec {
+
+ArrayStore::ArrayStore(const loopir::LoopNest& nest) {
+  for (const loopir::ArrayDecl& a : nest.arrays()) {
+    Slot s;
+    s.decl = a;
+    s.data.assign(static_cast<std::size_t>(a.element_count()), 0);
+    data_.emplace(a.name, std::move(s));
+  }
+}
+
+void ArrayStore::fill_pattern() {
+  for (auto& [name, s] : data_) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : name) h = (h ^ static_cast<std::uint64_t>(c)) * 1099511628211ULL;
+    for (std::size_t k = 0; k < s.data.size(); ++k) {
+      std::uint64_t v = (k * 2654435761ULL + h);
+      s.data[k] = static_cast<i64>(v % 199) - 99;
+    }
+  }
+}
+
+const ArrayStore::Slot& ArrayStore::slot(const std::string& array) const {
+  auto it = data_.find(array);
+  VDEP_REQUIRE(it != data_.end(), "unknown array in store: " + array);
+  return it->second;
+}
+
+ArrayStore::Slot& ArrayStore::slot(const std::string& array) {
+  auto it = data_.find(array);
+  VDEP_REQUIRE(it != data_.end(), "unknown array in store: " + array);
+  return it->second;
+}
+
+i64 ArrayStore::read(const std::string& array, const Vec& coords) const {
+  const Slot& s = slot(array);
+  return s.data[static_cast<std::size_t>(s.decl.linear_index(coords))];
+}
+
+void ArrayStore::write(const std::string& array, const Vec& coords, i64 value) {
+  Slot& s = slot(array);
+  s.data[static_cast<std::size_t>(s.decl.linear_index(coords))] = value;
+}
+
+i64 ArrayStore::checksum() const {
+  i64 sum = 0;
+  for (const auto& [name, s] : data_)
+    for (i64 v : s.data) sum = (sum * 31 + v) % 1000000007;
+  return sum;
+}
+
+const std::vector<i64>& ArrayStore::raw(const std::string& array) const {
+  return slot(array).data;
+}
+
+std::vector<i64>& ArrayStore::raw_mutable(const std::string& array) {
+  return slot(array).data;
+}
+
+}  // namespace vdep::exec

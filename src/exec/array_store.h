@@ -1,0 +1,54 @@
+// Dense storage for the arrays of a loop nest.
+//
+// Values are int64 (the interpreter is exact); every access is bounds
+// checked against the declared shape. Stores are value types — copy one to
+// replay a nest from the same initial state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loopir/nest.h"
+
+namespace vdep::exec {
+
+using intlin::i64;
+using intlin::Vec;
+
+class ArrayStore {
+ public:
+  /// Allocates every array declared by the nest, zero-initialized.
+  explicit ArrayStore(const loopir::LoopNest& nest);
+
+  /// Deterministic non-trivial fill: element k of array a gets
+  /// (k * 2654435761 + hash(name)) % 199 - 99.
+  void fill_pattern();
+
+  i64 read(const std::string& array, const Vec& coords) const;
+  void write(const std::string& array, const Vec& coords, i64 value);
+
+  bool operator==(const ArrayStore& o) const { return data_ == o.data_; }
+
+  /// Order-independent content digest (diagnostics).
+  i64 checksum() const;
+
+  const std::vector<i64>& raw(const std::string& array) const;
+  /// Mutable buffer access for compiled kernels (exec/compiled.h).
+  std::vector<i64>& raw_mutable(const std::string& array);
+
+ private:
+  struct Slot {
+    loopir::ArrayDecl decl;
+    std::vector<i64> data;
+    bool operator==(const Slot& o) const {
+      return decl.name == o.decl.name && data == o.data;
+    }
+  };
+  const Slot& slot(const std::string& array) const;
+  Slot& slot(const std::string& array);
+
+  std::map<std::string, Slot> data_;
+};
+
+}  // namespace vdep::exec

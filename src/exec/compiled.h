@@ -1,0 +1,85 @@
+// Compiled loop bodies: the interpreter resolves array names through a map
+// on every access; for benchmarking the *parallel structure* that overhead
+// drowns the signal. A CompiledKernel flattens each statement once:
+//
+//   * every array reference's flat buffer offset is itself an affine
+//     function of the iteration vector (row-major flattening of affine
+//     subscripts is affine), so a read/write becomes a dot product plus a
+//     raw-pointer access;
+//   * the rhs expression tree becomes a postfix program over a small value
+//     stack.
+//
+// Subscript-in-bounds is established once per (kernel, nest) pair by
+// checking the affine offset's extremes over the iteration box, so the hot
+// path needs no per-access checks.
+#pragma once
+
+#include "exec/runner.h"
+
+namespace vdep::exec {
+
+class CompiledKernel {
+ public:
+  /// Compiles the body of `nest` against `store` (which must own every
+  /// array). The store must stay alive and must not be resized while the
+  /// kernel is used; values may change freely.
+  CompiledKernel(const loopir::LoopNest& nest, ArrayStore& store);
+
+  /// Private mutable state of one executing task (the value stack); the
+  /// kernel itself stays const and shareable across threads.
+  struct Scratch {
+    std::vector<i64> stack;
+  };
+  Scratch make_scratch() const { return Scratch{std::vector<i64>(stack_size_, 0)}; }
+
+  /// Executes all statements at `iter` (no bounds checks on the hot path;
+  /// ranges were proven at compile time).
+  void execute_iteration(const Vec& iter, Scratch& scratch) const;
+
+  /// Convenience single-threaded form with an internal scratch.
+  void execute_iteration(const Vec& iter);
+
+  /// Sequential lexicographic execution of the whole nest.
+  void run_sequential();
+
+  int statement_count() const { return static_cast<int>(stmts_.size()); }
+
+ private:
+  struct Access {
+    i64* base = nullptr;   // array buffer
+    Vec coeffs;            // flat offset = dot(coeffs, iter) + c0
+    i64 c0 = 0;
+  };
+  enum class Op : unsigned char { kPushConst, kPushIndex, kRead, kAdd, kSub, kMul };
+  struct Instr {
+    Op op;
+    i64 value = 0;   // kPushConst
+    int index = 0;   // kPushIndex / kRead (access table slot)
+  };
+  struct Stmt {
+    Access lhs;
+    std::vector<Instr> program;  // postfix
+    int max_stack = 0;
+  };
+
+  Access compile_access(const loopir::ArrayRef& ref);
+  void compile_expr(const loopir::Expr& e, Stmt& stmt, int depth);
+
+  const loopir::LoopNest& nest_;
+  ArrayStore* store_ = nullptr;
+  std::vector<std::pair<i64, i64>> box_;
+  std::vector<Stmt> stmts_;
+  std::vector<Access> reads_;
+  std::size_t stack_size_ = 16;
+  Scratch scratch_;  // for the single-threaded convenience path
+};
+
+/// Parallel execution of a prebuilt schedule through compiled kernels (one
+/// kernel per worker is unnecessary: execution only mutates array memory,
+/// which legality keeps disjoint across items; the value stack is the only
+/// mutable kernel state, so each task gets its own kernel copy).
+void execute_schedule_compiled(const loopir::LoopNest& nest,
+                               const Schedule& sched, ArrayStore& store,
+                               ThreadPool& pool);
+
+}  // namespace vdep::exec

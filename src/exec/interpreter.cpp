@@ -1,0 +1,47 @@
+#include "exec/interpreter.h"
+
+#include "support/error.h"
+
+namespace vdep::exec {
+
+i64 eval_expr(const loopir::Expr& e, const Vec& iter, const ArrayStore& store) {
+  using K = loopir::Expr::Kind;
+  switch (e.kind()) {
+    case K::kConst:
+      return e.value();
+    case K::kIndex:
+      return iter[static_cast<std::size_t>(e.index())];
+    case K::kRead:
+      return store.read(e.ref().array, e.ref().element_at(iter));
+    case K::kAdd:
+      return checked::add(eval_expr(*e.lhs(), iter, store),
+                          eval_expr(*e.rhs(), iter, store));
+    case K::kSub:
+      return checked::sub(eval_expr(*e.lhs(), iter, store),
+                          eval_expr(*e.rhs(), iter, store));
+    case K::kMul:
+      return checked::mul(eval_expr(*e.lhs(), iter, store),
+                          eval_expr(*e.rhs(), iter, store));
+  }
+  VDEP_CHECK(false, "unreachable expr kind");
+}
+
+void execute_iteration(const loopir::LoopNest& nest, const Vec& iter,
+                       ArrayStore& store) {
+  for (const loopir::Assign& a : nest.body()) {
+    i64 value = eval_expr(*a.rhs, iter, store);
+    store.write(a.lhs.array, a.lhs.element_at(iter), value);
+  }
+}
+
+void run_sequential(const loopir::LoopNest& nest, ArrayStore& store) {
+  nest.for_each_iteration(
+      [&](const Vec& iter) { execute_iteration(nest, iter, store); });
+}
+
+void run_sequential_order(const loopir::LoopNest& nest,
+                          const std::vector<Vec>& order, ArrayStore& store) {
+  for (const Vec& iter : order) execute_iteration(nest, iter, store);
+}
+
+}  // namespace vdep::exec

@@ -1,0 +1,29 @@
+// Exact interpreter for loop-nest bodies.
+//
+// Executing the original nest sequentially gives the reference semantics;
+// every transformed/partitioned/parallel schedule must reproduce the same
+// final store. The interpreter is the oracle behind all end-to-end tests.
+#pragma once
+
+#include "exec/array_store.h"
+
+namespace vdep::exec {
+
+/// Evaluates the rhs expression tree at iteration `iter`.
+i64 eval_expr(const loopir::Expr& e, const Vec& iter, const ArrayStore& store);
+
+/// Executes all body statements of `nest` at iteration `iter`.
+void execute_iteration(const loopir::LoopNest& nest, const Vec& iter,
+                       ArrayStore& store);
+
+/// Reference execution: full sequential lexicographic traversal.
+void run_sequential(const loopir::LoopNest& nest, ArrayStore& store);
+
+/// Executes the body of `body_nest` at original iteration obtained by
+/// mapping: used when the scanned space differs from the body's index
+/// space. (The rewritten nests of codegen already carry substituted bodies,
+/// so they run with plain execute_iteration.)
+void run_sequential_order(const loopir::LoopNest& nest,
+                          const std::vector<Vec>& order, ArrayStore& store);
+
+}  // namespace vdep::exec

@@ -1,0 +1,129 @@
+#include "exec/runner.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace vdep::exec {
+
+i64 Schedule::total_iterations() const {
+  i64 n = 0;
+  for (const auto& it : items) n += static_cast<i64>(it.size());
+  return n;
+}
+
+i64 Schedule::max_item_size() const {
+  i64 m = 0;
+  for (const auto& it : items) m = std::max(m, static_cast<i64>(it.size()));
+  return m;
+}
+
+i64 Schedule::parallelism() const {
+  i64 p = 0;
+  for (const auto& it : items)
+    if (!it.empty()) ++p;
+  return p;
+}
+
+namespace {
+
+// Enumerate values of the leading `levels` loops of `nest` (bounds of level
+// k may reference levels < k). Invokes fn with iter's prefix filled.
+void enumerate_prefix(const loopir::LoopNest& nest, int levels, int k, Vec& iter,
+                      const std::function<void(Vec&)>& fn) {
+  if (k == levels) {
+    fn(iter);
+    return;
+  }
+  const loopir::Level& l = nest.level(k);
+  i64 lo = l.lower.eval_lower(iter);
+  i64 hi = l.upper.eval_upper(iter);
+  for (i64 v = lo; v <= hi; ++v) {
+    iter[static_cast<std::size_t>(k)] = v;
+    enumerate_prefix(nest, levels, k + 1, iter, fn);
+  }
+  iter[static_cast<std::size_t>(k)] = 0;
+}
+
+// Enumerate the trailing dims [start, n) of `nest` in lex order (plain,
+// unpartitioned).
+void enumerate_tail(const loopir::LoopNest& nest, int start, int k, Vec& iter,
+                    const std::function<void(const Vec&)>& fn) {
+  if (k == nest.depth()) {
+    fn(iter);
+    return;
+  }
+  const loopir::Level& l = nest.level(k);
+  i64 lo = l.lower.eval_lower(iter);
+  i64 hi = l.upper.eval_upper(iter);
+  for (i64 v = lo; v <= hi; ++v) {
+    iter[static_cast<std::size_t>(k)] = v;
+    enumerate_tail(nest, start, k + 1, iter, fn);
+  }
+  iter[static_cast<std::size_t>(k)] = 0;
+}
+
+}  // namespace
+
+Schedule build_schedule(const loopir::LoopNest& original,
+                        const trans::TransformPlan& plan) {
+  codegen::TransformedNest tn = codegen::rewrite_nest(original, plan);
+  const loopir::LoopNest& nest = tn.nest;
+  int n = nest.depth();
+  int nd = plan.num_doall;
+
+  Schedule sched;
+  Vec iter(static_cast<std::size_t>(n), 0);
+  enumerate_prefix(nest, nd, 0, iter, [&](Vec& prefix_iter) {
+    if (plan.partition.has_value()) {
+      const trans::Partitioning& part = *plan.partition;
+      VDEP_CHECK(nd + part.dim() == n, "plan shape inconsistent");
+      for (i64 id = 0; id < part.num_classes(); ++id) {
+        std::vector<Vec> item;
+        part.for_each_class_iteration_from(
+            nest, nd, part.class_label(id), prefix_iter, [&](const Vec& j) {
+              item.push_back(tn.original_iteration(j));
+            });
+        if (!item.empty()) sched.items.push_back(std::move(item));
+      }
+    } else {
+      std::vector<Vec> item;
+      enumerate_tail(nest, nd, nd, prefix_iter, [&](const Vec& j) {
+        item.push_back(tn.original_iteration(j));
+      });
+      if (!item.empty()) sched.items.push_back(std::move(item));
+    }
+  });
+  return sched;
+}
+
+RunStats run_parallel(const loopir::LoopNest& original,
+                      const trans::TransformPlan& plan, ArrayStore& store,
+                      ThreadPool& pool) {
+  Schedule sched = build_schedule(original, plan);
+  RunStats stats{static_cast<i64>(sched.items.size()),
+                 sched.total_iterations(), sched.max_item_size()};
+  execute_schedule(original, sched, store, pool);
+  return stats;
+}
+
+void execute_schedule(const loopir::LoopNest& original, const Schedule& sched,
+                      ArrayStore& store, ThreadPool& pool) {
+  pool.parallel_for(static_cast<i64>(sched.items.size()), [&](i64 k) {
+    for (const Vec& i : sched.items[static_cast<std::size_t>(k)])
+      execute_iteration(original, i, store);
+  });
+}
+
+RunStats run_scheduled_serial(const loopir::LoopNest& original,
+                              const trans::TransformPlan& plan,
+                              ArrayStore& store) {
+  Schedule sched = build_schedule(original, plan);
+  RunStats stats{static_cast<i64>(sched.items.size()),
+                 sched.total_iterations(), sched.max_item_size()};
+  for (const auto& item : sched.items)
+    for (const Vec& i : item) execute_iteration(original, i, store);
+  return stats;
+}
+
+}  // namespace vdep::exec

@@ -1,0 +1,148 @@
+#include "exec/verify.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace vdep::exec {
+
+namespace {
+
+// (memory cell) -> list of (iteration order key) conflicts are derived from.
+struct CellKey {
+  std::string array;
+  Vec coords;
+  bool operator<(const CellKey& o) const {
+    if (array != o.array) return array < o.array;
+    return coords < o.coords;
+  }
+};
+
+}  // namespace
+
+VerifyResult verify_schedule(const loopir::LoopNest& nest,
+                             const Schedule& sched) {
+  VerifyResult out;
+  auto fail = [&](std::string reason, Vec a, Vec b) {
+    out.ok = false;
+    out.violations.push_back({std::move(reason), std::move(a), std::move(b)});
+  };
+
+  // (a) coverage: schedule == iteration set, each exactly once.
+  std::map<Vec, std::pair<int, int>> position;  // iter -> (item, index)
+  for (std::size_t it = 0; it < sched.items.size(); ++it) {
+    for (std::size_t k = 0; k < sched.items[it].size(); ++k) {
+      const Vec& i = sched.items[it][k];
+      if (!position.emplace(i, std::make_pair(static_cast<int>(it),
+                                              static_cast<int>(k)))
+               .second)
+        fail("iteration scheduled twice", i, i);
+      if (!nest.contains(i)) fail("iteration outside the nest", i, i);
+    }
+  }
+  std::vector<Vec> iters = nest.iterations();
+  for (const Vec& i : iters)
+    if (!position.count(i)) fail("iteration missing from schedule", i, i);
+  if (!out.ok) return out;
+
+  // (b)/(c) conflicting pairs must share an item, ordered as the original.
+  auto accesses = nest.accesses();
+  std::map<CellKey, std::vector<std::pair<Vec, bool>>> cells;
+  for (const Vec& i : iters)
+    for (const auto& a : accesses)
+      cells[{a.ref.array, a.ref.element_at(i)}].push_back({i, a.is_write});
+
+  for (const auto& [cell, touches] : cells) {
+    for (std::size_t x = 0; x < touches.size(); ++x) {
+      for (std::size_t y = x + 1; y < touches.size(); ++y) {
+        const auto& [ix, wx] = touches[x];
+        const auto& [iy, wy] = touches[y];
+        if (!wx && !wy) continue;     // read-read never conflicts
+        if (ix == iy) continue;       // intra-iteration order is fixed
+        auto px = position.at(ix);
+        auto py = position.at(iy);
+        if (px.first != py.first) {
+          fail("conflicting iterations in different work items (" +
+                   cell.array + intlin::to_string(cell.coords) + ")",
+               ix, iy);
+          continue;
+        }
+        bool orig_before = intlin::lex_less(ix, iy);
+        bool sched_before = px.second < py.second;
+        if (orig_before != sched_before)
+          fail("conflicting iterations reordered within an item (" +
+                   cell.array + intlin::to_string(cell.coords) + ")",
+               ix, iy);
+      }
+    }
+  }
+  return out;
+}
+
+i64 PhasedSchedule::total_iterations() const {
+  i64 n = 0;
+  for (const auto& p : phases) n += static_cast<i64>(p.size());
+  return n;
+}
+
+i64 PhasedSchedule::max_phase_size() const {
+  i64 m = 0;
+  for (const auto& p : phases) m = std::max<i64>(m, static_cast<i64>(p.size()));
+  return m;
+}
+
+VerifyResult verify_phased(const loopir::LoopNest& nest,
+                           const PhasedSchedule& sched) {
+  VerifyResult out;
+  auto fail = [&](std::string reason, Vec a, Vec b) {
+    out.ok = false;
+    out.violations.push_back({std::move(reason), std::move(a), std::move(b)});
+  };
+
+  std::map<Vec, int> phase_of;
+  for (std::size_t p = 0; p < sched.phases.size(); ++p) {
+    for (const Vec& i : sched.phases[p]) {
+      if (!phase_of.emplace(i, static_cast<int>(p)).second)
+        fail("iteration scheduled twice", i, i);
+      if (!nest.contains(i)) fail("iteration outside the nest", i, i);
+    }
+  }
+  std::vector<Vec> iters = nest.iterations();
+  for (const Vec& i : iters)
+    if (!phase_of.count(i)) fail("iteration missing from schedule", i, i);
+  if (!out.ok) return out;
+
+  auto accesses = nest.accesses();
+  std::map<CellKey, std::vector<std::pair<Vec, bool>>> cells;
+  for (const Vec& i : iters)
+    for (const auto& a : accesses)
+      cells[{a.ref.array, a.ref.element_at(i)}].push_back({i, a.is_write});
+
+  for (const auto& [cell, touches] : cells) {
+    for (std::size_t x = 0; x < touches.size(); ++x) {
+      for (std::size_t y = x + 1; y < touches.size(); ++y) {
+        const auto& [ix, wx] = touches[x];
+        const auto& [iy, wy] = touches[y];
+        if (!wx && !wy) continue;
+        if (ix == iy) continue;
+        int px = phase_of.at(ix);
+        int py = phase_of.at(iy);
+        if (px == py) {
+          fail("conflicting iterations in the same phase (" + cell.array +
+                   intlin::to_string(cell.coords) + ")",
+               ix, iy);
+          continue;
+        }
+        bool orig_before = intlin::lex_less(ix, iy);
+        if (orig_before != (px < py))
+          fail("conflicting iterations in misordered phases (" + cell.array +
+                   intlin::to_string(cell.coords) + ")",
+               ix, iy);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vdep::exec

@@ -1,0 +1,48 @@
+// Structural legality verification of a schedule (memory-trace based).
+//
+// Independent of value equivalence: even if final values coincided by
+// accident, this verifier fails any schedule that (a) misses or duplicates
+// an iteration, (b) splits two conflicting iterations across parallel work
+// items, or (c) reorders conflicting iterations within an item against the
+// original lexicographic order.
+#pragma once
+
+#include <string>
+
+#include "exec/runner.h"
+
+namespace vdep::exec {
+
+struct ScheduleViolation {
+  std::string reason;
+  Vec a;
+  Vec b;
+};
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<ScheduleViolation> violations;
+};
+
+/// Full conflict-pair check of `sched` against the sequential semantics of
+/// `nest`. O(P^2 * A^2) over P iterations and A accesses — intended for the
+/// bounded spaces of tests and figure benches.
+VerifyResult verify_schedule(const loopir::LoopNest& nest, const Schedule& sched);
+
+/// A barrier-synchronized schedule: phases run in order, iterations inside
+/// one phase run in parallel (the wavefront/hyperplane execution model of
+/// the baselines).
+struct PhasedSchedule {
+  std::vector<std::vector<Vec>> phases;
+
+  i64 total_iterations() const;
+  i64 phase_count() const { return static_cast<i64>(phases.size()); }
+  i64 max_phase_size() const;
+};
+
+/// Conflicting iterations must fall into *different* phases whose order
+/// matches the original lexicographic order.
+VerifyResult verify_phased(const loopir::LoopNest& nest,
+                           const PhasedSchedule& sched);
+
+}  // namespace vdep::exec

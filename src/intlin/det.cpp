@@ -1,0 +1,58 @@
+#include "intlin/det.h"
+
+#include "intlin/hermite.h"
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+i64 determinant(const Mat& m) {
+  VDEP_REQUIRE(m.is_square(), "determinant of non-square matrix");
+  int n = m.rows();
+  if (n == 0) return 1;  // empty product
+  Mat a = m;
+  i64 sign = 1;
+  i64 prev = 1;
+  // Bareiss: a[i][j] := (a[i][j]*a[k][k] - a[i][k]*a[k][j]) / prev, exact.
+  for (int k = 0; k < n - 1; ++k) {
+    if (a.at(k, k) == 0) {
+      int swap = -1;
+      for (int i = k + 1; i < n; ++i)
+        if (a.at(i, k) != 0) {
+          swap = i;
+          break;
+        }
+      if (swap == -1) return 0;
+      a.swap_rows(k, swap);
+      sign = checked::neg(sign);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        i64 num = checked::sub(checked::mul(a.at(i, j), a.at(k, k)),
+                               checked::mul(a.at(i, k), a.at(k, j)));
+        VDEP_CHECK(num % prev == 0, "Bareiss division must be exact");
+        a.at(i, j) = num / prev;
+      }
+      a.at(i, k) = 0;
+    }
+    prev = a.at(k, k);
+  }
+  return checked::mul(sign, a.at(n - 1, n - 1));
+}
+
+bool is_unimodular(const Mat& m) {
+  if (!m.is_square()) return false;
+  i64 d = determinant(m);
+  return d == 1 || d == -1;
+}
+
+Mat unimodular_inverse(const Mat& m) {
+  VDEP_REQUIRE(m.is_square(), "inverse of non-square matrix");
+  // Row-reduce m to HNF: U*m = H. For a unimodular m the unique HNF of the
+  // full-rank row lattice Z^n is the identity, hence U = m^{-1}.
+  HermiteResult h = hermite_with_transform(m);
+  VDEP_REQUIRE(h.rank == m.rows() && h.H == Mat::identity(m.rows()),
+               "matrix is not unimodular: " + m.to_string());
+  return h.U;
+}
+
+}  // namespace vdep::intlin

@@ -1,0 +1,18 @@
+// Exact determinants of integer matrices (Bareiss fraction-free elimination).
+#pragma once
+
+#include "intlin/mat.h"
+
+namespace vdep::intlin {
+
+/// Determinant of a square integer matrix, exact. Throws OverflowError if an
+/// intermediate exceeds int64 (Bareiss keeps intermediates minimal).
+i64 determinant(const Mat& m);
+
+/// |det| == 1. False for non-square matrices.
+bool is_unimodular(const Mat& m);
+
+/// Integer inverse of a unimodular matrix (throws if m is not unimodular).
+Mat unimodular_inverse(const Mat& m);
+
+}  // namespace vdep::intlin

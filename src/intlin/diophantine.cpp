@@ -1,0 +1,35 @@
+#include "intlin/diophantine.h"
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+RowSolution solve_row_system(const Mat& m, const Vec& c) {
+  VDEP_REQUIRE(static_cast<int>(c.size()) == m.cols(), "rhs width mismatch");
+  Echelon ech = echelon_reduce(m);
+
+  RowSolution out;
+  // Solve t * E = c. Row r of E contributes its pivot at column levels[r];
+  // rows after r are zero there, rows before r were already consumed.
+  Vec residue = c;
+  Vec t(static_cast<std::size_t>(m.rows()), 0);
+  for (int r = 0; r < ech.rank; ++r) {
+    Vec row = ech.E.row(r);
+    int lc = ech.levels[static_cast<std::size_t>(r)];
+    i64 pivot = row[static_cast<std::size_t>(lc)];
+    i64 num = residue[static_cast<std::size_t>(lc)];
+    if (num % pivot != 0) return out;  // no integer solution
+    i64 coef = num / pivot;
+    t[static_cast<std::size_t>(r)] = coef;
+    if (coef != 0) residue = sub(residue, scale(row, coef));
+  }
+  if (!is_zero(residue)) return out;  // inconsistent system
+
+  out.solvable = true;
+  // x = t * U; free components (t_phi) chosen 0 for the particular solution.
+  out.particular = vec_mat_mul(t, ech.U);
+  out.homogeneous = ech.U.row_slice(ech.rank, m.rows());
+  return out;
+}
+
+}  // namespace vdep::intlin

@@ -1,0 +1,27 @@
+// Linear Diophantine row systems: all integer x with x * M == c.
+//
+// This is exactly the paper's equations (2.6)-(2.10): reduce M to echelon
+// form with unimodular U (U*M = E), solve t*E = c by forward substitution on
+// the pivot columns (t_sigma constant, t_phi free), and map back x = t*U.
+// The solution set is an affine lattice: particular + row-span(homogeneous).
+#pragma once
+
+#include <optional>
+
+#include "intlin/echelon.h"
+
+namespace vdep::intlin {
+
+struct RowSolution {
+  bool solvable = false;
+  /// One integer solution x0 (x0 * M == c). Size M.rows().
+  Vec particular;
+  /// Rows span all solutions of x * M == 0; (M.rows() - rank(M)) rows.
+  /// These are the last rows of U — the paper's U_phi.
+  Mat homogeneous;
+};
+
+/// Solve x * M == c exactly over the integers.
+RowSolution solve_row_system(const Mat& m, const Vec& c);
+
+}  // namespace vdep::intlin

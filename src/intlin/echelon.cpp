@@ -1,0 +1,77 @@
+#include "intlin/echelon.h"
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+Echelon echelon_reduce(const Mat& m) {
+  Echelon out;
+  out.E = m;
+  out.U = Mat::identity(m.rows());
+  Mat& e = out.E;
+  Mat& u = out.U;
+
+  int r = 0;  // next pivot row
+  for (int c = 0; c < m.cols() && r < m.rows(); ++c) {
+    // Gcd-combine rows r..end so that column c has a single nonzero at row r.
+    // Using extended-Euclid 2x2 unimodular row mixes keeps all entries exact.
+    int pivot = -1;
+    for (int k = r; k < m.rows(); ++k) {
+      if (e.at(k, c) == 0) continue;
+      if (pivot == -1) {
+        pivot = k;
+        continue;
+      }
+      // Mix rows (pivot, k) to put gcd at pivot and 0 at k.
+      checked::ExtGcd g = checked::ext_gcd(e.at(pivot, c), e.at(k, c));
+      i64 a = e.at(pivot, c) / g.g;  // exact
+      i64 b = e.at(k, c) / g.g;      // exact
+      // [x y; -b a] is unimodular: det = x*a + y*b = (x*ep + y*ek)/g = 1.
+      Vec ep = e.row(pivot), ek = e.row(k);
+      Vec up = u.row(pivot), uk = u.row(k);
+      e.set_row(pivot, add(scale(ep, g.x), scale(ek, g.y)));
+      e.set_row(k, add(scale(ep, checked::neg(b)), scale(ek, a)));
+      u.set_row(pivot, add(scale(up, g.x), scale(uk, g.y)));
+      u.set_row(k, add(scale(up, checked::neg(b)), scale(uk, a)));
+      VDEP_CHECK(e.at(k, c) == 0, "echelon elimination left a residue");
+    }
+    if (pivot == -1) continue;  // column c already zero below row r
+    e.swap_rows(r, pivot);
+    u.swap_rows(r, pivot);
+    if (e.at(r, c) < 0) {
+      e.negate_row(r);
+      u.negate_row(r);
+    }
+    out.levels.push_back(c);
+    ++r;
+  }
+  out.rank = r;
+  return out;
+}
+
+bool is_echelon(const Mat& m) {
+  int prev_level = -1;
+  bool seen_zero_row = false;
+  for (int r = 0; r < m.rows(); ++r) {
+    int l = level(m.row(r));
+    if (l < 0) {
+      seen_zero_row = true;
+      continue;
+    }
+    if (seen_zero_row) return false;       // nonzero row after a zero row
+    if (l <= prev_level) return false;     // levels must strictly increase
+    prev_level = l;
+  }
+  return true;
+}
+
+bool is_echelon_lex_positive(const Mat& m) {
+  if (!is_echelon(m)) return false;
+  for (int r = 0; r < m.rows(); ++r) {
+    Vec row = m.row(r);
+    if (!is_zero(row) && !lex_positive(row)) return false;
+  }
+  return true;
+}
+
+}  // namespace vdep::intlin

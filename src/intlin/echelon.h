@@ -1,0 +1,36 @@
+// Echelon reduction of an integer matrix by unimodular *row* operations.
+//
+// This is the paper's equation (2.8)/(2.9) machinery: given M, find
+// unimodular U with U*M = E where E is an echelon matrix (only the first
+// `rank` rows are nonzero, and their levels — indices of leading elements —
+// strictly increase). U records the change of variables t = x * U^{-1} used
+// to solve the row system x*M = c.
+#pragma once
+
+#include <vector>
+
+#include "intlin/mat.h"
+
+namespace vdep::intlin {
+
+struct Echelon {
+  Mat U;                    ///< unimodular row transform: U * M == E
+  Mat E;                    ///< echelon form of M
+  int rank = 0;             ///< number of nonzero rows of E
+  std::vector<int> levels;  ///< levels[r] = column of the leading element of row r, r < rank
+};
+
+/// Reduce M to echelon form with recorded unimodular transform.
+/// Leading elements are made positive (a unimodular row scaling), so the
+/// nonzero rows of E are lexicographically positive.
+Echelon echelon_reduce(const Mat& m);
+
+/// True iff the nonzero rows of m come first with strictly increasing levels
+/// (the paper's definition of an echelon matrix).
+bool is_echelon(const Mat& m);
+
+/// True iff m is echelon and every nonzero row is lexicographically positive
+/// (the shape Theorem 1 demands of a transformed PDM).
+bool is_echelon_lex_positive(const Mat& m);
+
+}  // namespace vdep::intlin

@@ -1,0 +1,48 @@
+#include "intlin/hermite.h"
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+HermiteResult hermite_with_transform(const Mat& m) {
+  Echelon ech = echelon_reduce(m);
+  Mat& e = ech.E;
+  Mat& u = ech.U;
+  // Leading elements are already positive (echelon_reduce normalizes).
+  // Reduce entries above each pivot into [0, pivot).
+  for (int r = 0; r < ech.rank; ++r) {
+    int lc = ech.levels[static_cast<std::size_t>(r)];
+    i64 pivot = e.at(r, lc);
+    VDEP_CHECK(pivot > 0, "HNF pivot must be positive");
+    for (int k = 0; k < r; ++k) {
+      i64 q = checked::floor_div(e.at(k, lc), pivot);
+      if (q == 0) continue;
+      e.add_row_multiple(k, r, checked::neg(q));
+      u.add_row_multiple(k, r, checked::neg(q));
+    }
+  }
+  HermiteResult out;
+  out.rank = ech.rank;
+  out.H = e.row_slice(0, ech.rank);
+  out.U = u;
+  return out;
+}
+
+Mat hermite_normal_form(const Mat& m) { return hermite_with_transform(m).H; }
+
+bool is_hermite_normal_form(const Mat& m) {
+  if (!is_echelon_lex_positive(m)) return false;
+  for (int r = 0; r < m.rows(); ++r) {
+    Vec row = m.row(r);
+    int lc = level(row);
+    if (lc < 0) return false;  // HNF keeps only nonzero rows
+    i64 pivot = m.at(r, lc);
+    for (int k = 0; k < r; ++k) {
+      i64 above = m.at(k, lc);
+      if (above < 0 || above >= pivot) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vdep::intlin

@@ -1,0 +1,29 @@
+// Row-style Hermite Normal Form.
+//
+// The paper uses HNF(D) as the canonical basis of the row lattice generated
+// by D — the pseudo distance matrix. Here HNF means: full row rank, echelon
+// with strictly increasing levels, positive leading elements (so all rows
+// are lexicographically positive), and every entry *above* a leading element
+// reduced into [0, pivot). This form is unique for a given row lattice.
+#pragma once
+
+#include "intlin/echelon.h"
+
+namespace vdep::intlin {
+
+struct HermiteResult {
+  Mat H;        ///< the HNF: rank(m) rows, m.cols() columns
+  Mat U;        ///< unimodular, U * m == [H; 0]
+  int rank = 0;
+};
+
+/// Hermite normal form with the recorded row transform.
+HermiteResult hermite_with_transform(const Mat& m);
+
+/// Just the HNF basis (rank rows).
+Mat hermite_normal_form(const Mat& m);
+
+/// True iff m satisfies the HNF shape conditions above.
+bool is_hermite_normal_form(const Mat& m);
+
+}  // namespace vdep::intlin

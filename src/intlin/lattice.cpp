@@ -1,0 +1,64 @@
+#include "intlin/lattice.h"
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+Lattice::Lattice(int dim) : dim_(dim), basis_(0, dim) {
+  VDEP_REQUIRE(dim >= 0, "negative lattice dimension");
+}
+
+Lattice Lattice::from_generators(const Mat& gens) {
+  Lattice l(gens.cols());
+  l.basis_ = hermite_normal_form(gens);
+  return l;
+}
+
+bool Lattice::contains(const Vec& v) const {
+  return coordinates(v).has_value();
+}
+
+std::optional<Vec> Lattice::coordinates(const Vec& v) const {
+  VDEP_REQUIRE(static_cast<int>(v.size()) == dim_, "lattice dim mismatch");
+  // Forward substitution along the echelon levels: at each level column the
+  // only remaining contribution is the current row's pivot.
+  Vec residue = v;
+  Vec t(static_cast<std::size_t>(basis_.rows()), 0);
+  for (int r = 0; r < basis_.rows(); ++r) {
+    Vec row = basis_.row(r);
+    int lc = level(row);
+    VDEP_CHECK(lc >= 0, "lattice basis has a zero row");
+    i64 num = residue[static_cast<std::size_t>(lc)];
+    i64 pivot = row[static_cast<std::size_t>(lc)];
+    if (num % pivot != 0) return std::nullopt;
+    i64 coef = num / pivot;
+    t[static_cast<std::size_t>(r)] = coef;
+    if (coef != 0) residue = sub(residue, scale(row, coef));
+  }
+  if (!intlin::is_zero(residue)) return std::nullopt;
+  return t;
+}
+
+i64 Lattice::index() const {
+  VDEP_REQUIRE(is_full_rank(), "lattice index requires full rank");
+  i64 prod = 1;
+  for (int r = 0; r < basis_.rows(); ++r) {
+    int lc = level(basis_.row(r));
+    prod = checked::mul(prod, basis_.at(r, lc));
+  }
+  return prod;
+}
+
+Lattice Lattice::merged(const Lattice& other) const {
+  VDEP_REQUIRE(dim_ == other.dim_, "merging lattices of different dimension");
+  return from_generators(Mat::vstack(basis_, other.basis_));
+}
+
+bool Lattice::subset_of(const Lattice& other) const {
+  VDEP_REQUIRE(dim_ == other.dim_, "lattice dim mismatch");
+  for (int r = 0; r < basis_.rows(); ++r)
+    if (!other.contains(basis_.row(r))) return false;
+  return true;
+}
+
+}  // namespace vdep::intlin

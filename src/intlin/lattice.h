@@ -1,0 +1,53 @@
+// Integer (row) lattices: the set of all integer combinations of generator
+// rows. The paper's distance sets are affine sub-lattices of Z^n; their
+// canonical basis (the HNF) is the pseudo distance matrix.
+#pragma once
+
+#include <optional>
+
+#include "intlin/hermite.h"
+
+namespace vdep::intlin {
+
+class Lattice {
+ public:
+  /// The zero lattice {0} in Z^dim.
+  explicit Lattice(int dim);
+
+  /// Lattice spanned by the rows of `gens` (gens.cols() == ambient dim).
+  static Lattice from_generators(const Mat& gens);
+
+  int dim() const { return dim_; }
+  int rank() const { return basis_.rows(); }
+  bool is_zero() const { return basis_.rows() == 0; }
+  bool is_full_rank() const { return rank() == dim_; }
+
+  /// Canonical HNF basis (rank rows, lexicographically positive).
+  const Mat& basis() const { return basis_; }
+
+  /// Membership test: v in lattice?
+  bool contains(const Vec& v) const;
+
+  /// Coordinates t with t * basis() == v, when v is a member.
+  std::optional<Vec> coordinates(const Vec& v) const;
+
+  /// Index [Z^dim : L] == det(basis) for a full-rank lattice — the number of
+  /// residue classes, i.e. the parallelism Theorem 2 extracts.
+  i64 index() const;
+
+  /// Smallest lattice containing both (basis rows stacked, re-HNF'd).
+  Lattice merged(const Lattice& other) const;
+
+  /// Sub-lattice test: every generator of *this inside `other`.
+  bool subset_of(const Lattice& other) const;
+
+  bool operator==(const Lattice& o) const {
+    return dim_ == o.dim_ && basis_ == o.basis_;
+  }
+
+ private:
+  int dim_;
+  Mat basis_;  // HNF, rank rows
+};
+
+}  // namespace vdep::intlin

@@ -1,0 +1,97 @@
+#include "intlin/smith.h"
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+namespace {
+
+// Returns the position (r, c) with r,c >= k of a minimal-|value| nonzero
+// entry, or {-1, -1} when the trailing block is zero.
+std::pair<int, int> find_pivot(const Mat& s, int k) {
+  std::pair<int, int> best{-1, -1};
+  i64 best_abs = 0;
+  for (int r = k; r < s.rows(); ++r)
+    for (int c = k; c < s.cols(); ++c) {
+      i64 v = s.at(r, c);
+      if (v == 0) continue;
+      i64 a = checked::abs(v);
+      if (best.first == -1 || a < best_abs) {
+        best = {r, c};
+        best_abs = a;
+      }
+    }
+  return best;
+}
+
+}  // namespace
+
+Smith smith_normal_form(const Mat& m) {
+  Smith out;
+  out.S = m;
+  out.U = Mat::identity(m.rows());
+  out.V = Mat::identity(m.cols());
+  Mat& s = out.S;
+
+  int k = 0;
+  int bound = std::min(m.rows(), m.cols());
+  while (k < bound) {
+    auto [pr, pc] = find_pivot(s, k);
+    if (pr == -1) break;  // rest is zero
+    s.swap_rows(k, pr);
+    out.U.swap_rows(k, pr);
+    s.swap_cols(k, pc);
+    out.V.swap_cols(k, pc);
+
+    // Reduce row and column k until the pivot divides everything it faces.
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (int r = k + 1; r < s.rows(); ++r) {
+        if (s.at(r, k) == 0) continue;
+        i64 q = checked::floor_div(s.at(r, k), s.at(k, k));
+        s.add_row_multiple(r, k, checked::neg(q));
+        out.U.add_row_multiple(r, k, checked::neg(q));
+        if (s.at(r, k) != 0) {  // remainder: swap to shrink the pivot
+          s.swap_rows(k, r);
+          out.U.swap_rows(k, r);
+          dirty = true;
+        }
+      }
+      for (int c = k + 1; c < s.cols(); ++c) {
+        if (s.at(k, c) == 0) continue;
+        i64 q = checked::floor_div(s.at(k, c), s.at(k, k));
+        s.add_col_multiple(c, k, checked::neg(q));
+        out.V.add_col_multiple(c, k, checked::neg(q));
+        if (s.at(k, c) != 0) {
+          s.swap_cols(k, c);
+          out.V.swap_cols(k, c);
+          dirty = true;
+        }
+      }
+    }
+
+    // Divisibility fix-up: pivot must divide every entry of the trailing
+    // block; if not, fold the offending row in and restart this k.
+    bool restart = false;
+    for (int r = k + 1; r < s.rows() && !restart; ++r)
+      for (int c = k + 1; c < s.cols() && !restart; ++c)
+        if (s.at(r, c) % s.at(k, k) != 0) {
+          s.add_row_multiple(k, r, 1);
+          out.U.add_row_multiple(k, r, 1);
+          restart = true;
+        }
+    if (restart) continue;
+
+    if (s.at(k, k) < 0) {
+      s.negate_row(k);
+      out.U.negate_row(k);
+    }
+    ++k;
+  }
+  out.rank = k;
+  for (int i = 0; i < k; ++i) out.divisors.push_back(s.at(i, i));
+  return out;
+}
+
+}  // namespace vdep::intlin

@@ -1,0 +1,25 @@
+// Smith Normal Form: U * M * V = S with U, V unimodular and S diagonal,
+// d_1 | d_2 | ... | d_r, d_i > 0.
+//
+// Used as an independent oracle in tests (lattice index == product of
+// elementary divisors == |det HNF|) and by the analysis-cost ablation.
+#pragma once
+
+#include <vector>
+
+#include "intlin/mat.h"
+
+namespace vdep::intlin {
+
+struct Smith {
+  Mat U;  ///< unimodular row transform (rows x rows)
+  Mat V;  ///< unimodular column transform (cols x cols)
+  Mat S;  ///< diagonal, same shape as input
+  int rank = 0;
+  /// The positive diagonal entries d_1 | d_2 | ... | d_rank.
+  std::vector<i64> divisors;
+};
+
+Smith smith_normal_form(const Mat& m);
+
+}  // namespace vdep::intlin

@@ -1,0 +1,85 @@
+#include "intlin/vec.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::intlin {
+
+Vec add(const Vec& v, const Vec& w) {
+  VDEP_REQUIRE(v.size() == w.size(), "vector length mismatch in add");
+  Vec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = checked::add(v[i], w[i]);
+  return r;
+}
+
+Vec sub(const Vec& v, const Vec& w) {
+  VDEP_REQUIRE(v.size() == w.size(), "vector length mismatch in sub");
+  Vec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = checked::sub(v[i], w[i]);
+  return r;
+}
+
+Vec scale(const Vec& v, i64 k) {
+  Vec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = checked::mul(v[i], k);
+  return r;
+}
+
+Vec negate(const Vec& v) { return scale(v, -1); }
+
+i64 dot(const Vec& v, const Vec& w) {
+  VDEP_REQUIRE(v.size() == w.size(), "vector length mismatch in dot");
+  i64 acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) acc = checked::fma(acc, v[i], w[i]);
+  return acc;
+}
+
+bool is_zero(const Vec& v) {
+  for (i64 x : v)
+    if (x != 0) return false;
+  return true;
+}
+
+int level(const Vec& v) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] != 0) return static_cast<int>(i);
+  return -1;
+}
+
+bool lex_positive(const Vec& v) {
+  int l = level(v);
+  return l >= 0 && v[static_cast<std::size_t>(l)] > 0;
+}
+
+bool lex_negative(const Vec& v) {
+  int l = level(v);
+  return l >= 0 && v[static_cast<std::size_t>(l)] < 0;
+}
+
+bool lex_less(const Vec& v, const Vec& w) {
+  VDEP_REQUIRE(v.size() == w.size(), "vector length mismatch in lex_less");
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != w[i]) return v[i] < w[i];
+  }
+  return false;
+}
+
+i64 content(const Vec& v) {
+  i64 g = 0;
+  for (i64 x : v) g = checked::gcd(g, x);
+  return g;
+}
+
+std::string to_string(const Vec& v) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vdep::intlin

@@ -1,0 +1,50 @@
+// Integer row vectors and the lexicographic order used throughout the paper.
+//
+// Index vectors, distance vectors and PDM rows are all *row* vectors
+// (the paper's convention); a vector is plain std::vector<int64_t> plus the
+// free functions below, all overflow-checked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/checked.h"
+
+namespace vdep::intlin {
+
+using i64 = checked::i64;
+using Vec = std::vector<i64>;
+
+/// v + w (same length).
+Vec add(const Vec& v, const Vec& w);
+/// v - w (same length).
+Vec sub(const Vec& v, const Vec& w);
+/// k * v.
+Vec scale(const Vec& v, i64 k);
+/// -v.
+Vec negate(const Vec& v);
+/// Inner product <v, w>.
+i64 dot(const Vec& v, const Vec& w);
+/// All components zero (including the empty vector).
+bool is_zero(const Vec& v);
+
+/// Index of the first nonzero component (the paper's "level", 0-based),
+/// or -1 when the vector is zero. The paper's leading element is
+/// v[level(v)].
+int level(const Vec& v);
+
+/// Lexicographically positive: nonzero and leading element > 0.
+bool lex_positive(const Vec& v);
+/// Lexicographically negative: nonzero and leading element < 0.
+bool lex_negative(const Vec& v);
+/// Strict lexicographic order v < w.
+bool lex_less(const Vec& v, const Vec& w);
+
+/// gcd of all components (0 for the zero vector).
+i64 content(const Vec& v);
+
+/// "(a, b, c)" rendering.
+std::string to_string(const Vec& v);
+
+}  // namespace vdep::intlin

@@ -1,0 +1,142 @@
+#include "loopir/affine.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::loopir {
+
+AffineExpr AffineExpr::constant(int depth, i64 c) {
+  AffineExpr e(depth);
+  e.constant_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::index(int depth, int k) {
+  VDEP_REQUIRE(k >= 0 && k < depth, "index out of range in AffineExpr::index");
+  AffineExpr e(depth);
+  e.coeffs_[static_cast<std::size_t>(k)] = 1;
+  return e;
+}
+
+i64 AffineExpr::coeff(int k) const {
+  VDEP_REQUIRE(k >= 0 && k < depth(), "coeff index out of range");
+  return coeffs_[static_cast<std::size_t>(k)];
+}
+
+int AffineExpr::last_index_used() const {
+  for (int k = depth() - 1; k >= 0; --k)
+    if (coeffs_[static_cast<std::size_t>(k)] != 0) return k;
+  return -1;
+}
+
+i64 AffineExpr::eval(const Vec& iter) const {
+  VDEP_REQUIRE(iter.size() == coeffs_.size(), "iteration vector depth mismatch");
+  i64 acc = constant_;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k)
+    acc = checked::fma(acc, coeffs_[k], iter[k]);
+  return acc;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  return AffineExpr(intlin::add(coeffs_, o.coeffs_),
+                    checked::add(constant_, o.constant_));
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return AffineExpr(intlin::sub(coeffs_, o.coeffs_),
+                    checked::sub(constant_, o.constant_));
+}
+
+AffineExpr AffineExpr::scaled(i64 k) const {
+  return AffineExpr(intlin::scale(coeffs_, k), checked::mul(constant_, k));
+}
+
+AffineExpr AffineExpr::plus_constant(i64 c) const {
+  return AffineExpr(coeffs_, checked::add(constant_, c));
+}
+
+AffineExpr AffineExpr::substitute(const intlin::Mat& t) const {
+  VDEP_REQUIRE(t.rows() == depth(), "substitution matrix depth mismatch");
+  // value(j) = coeffs . (j*T) + c = (T * coeffs^T) . j + c.
+  return AffineExpr(intlin::mat_vec_mul(t, coeffs_), constant_);
+}
+
+std::string AffineExpr::to_string(const std::vector<std::string>& names) const {
+  VDEP_REQUIRE(names.size() == coeffs_.size(), "name list depth mismatch");
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    i64 c = coeffs_[k];
+    if (c == 0) continue;
+    if (first) {
+      if (c == -1)
+        os << "-";
+      else if (c != 1)
+        os << c << "*";
+    } else {
+      os << (c > 0 ? " + " : " - ");
+      i64 a = checked::abs(c);
+      if (a != 1) os << a << "*";
+    }
+    os << names[k];
+    first = false;
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ > 0 ? " + " : " - ") << checked::abs(constant_);
+  }
+  return os.str();
+}
+
+i64 Bound::eval_lower(const Vec& iter) const {
+  VDEP_REQUIRE(!terms_.empty(), "evaluating an empty bound");
+  i64 best = 0;
+  bool have = false;
+  for (const BoundTerm& t : terms_) {
+    i64 v = checked::ceil_div(t.num.eval(iter), t.den);
+    if (!have || v > best) best = v;
+    have = true;
+  }
+  return best;
+}
+
+i64 Bound::eval_upper(const Vec& iter) const {
+  VDEP_REQUIRE(!terms_.empty(), "evaluating an empty bound");
+  i64 best = 0;
+  bool have = false;
+  for (const BoundTerm& t : terms_) {
+    i64 v = checked::floor_div(t.num.eval(iter), t.den);
+    if (!have || v < best) best = v;
+    have = true;
+  }
+  return best;
+}
+
+int Bound::last_index_used() const {
+  int last = -1;
+  for (const BoundTerm& t : terms_) last = std::max(last, t.num.last_index_used());
+  return last;
+}
+
+std::string Bound::to_string(const std::vector<std::string>& names,
+                             bool lower) const {
+  std::ostringstream os;
+  if (terms_.size() > 1) os << (lower ? "max(" : "min(");
+  bool first = true;
+  for (const BoundTerm& t : terms_) {
+    if (!first) os << ", ";
+    first = false;
+    if (t.den != 1) {
+      os << (lower ? "ceil(" : "floor(") << t.num.to_string(names) << ", "
+         << t.den << ")";
+    } else {
+      os << t.num.to_string(names);
+    }
+  }
+  if (terms_.size() > 1) os << ")";
+  return os.str();
+}
+
+}  // namespace vdep::loopir

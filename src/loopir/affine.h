@@ -1,0 +1,103 @@
+// Affine expressions over the loop indices: c0 + sum_k coeffs[k] * i_k.
+//
+// Array subscripts, loop bounds and transformed index mappings are all
+// affine; this is the paper's model (Section 2.2: "array subscripts are
+// linear functions of the loop indices").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intlin/mat.h"
+
+namespace vdep::loopir {
+
+using intlin::i64;
+using intlin::Vec;
+
+class AffineExpr {
+ public:
+  /// Zero expression over `depth` loop indices.
+  explicit AffineExpr(int depth) : coeffs_(static_cast<std::size_t>(depth), 0) {}
+  AffineExpr(Vec coeffs, i64 constant)
+      : coeffs_(std::move(coeffs)), constant_(constant) {}
+
+  /// The constant expression `c`.
+  static AffineExpr constant(int depth, i64 c);
+  /// The single index i_k.
+  static AffineExpr index(int depth, int k);
+
+  int depth() const { return static_cast<int>(coeffs_.size()); }
+  const Vec& coeffs() const { return coeffs_; }
+  i64 coeff(int k) const;
+  i64 constant_term() const { return constant_; }
+
+  bool is_constant() const { return intlin::is_zero(coeffs_); }
+  /// Highest index with a nonzero coefficient, or -1 for constants.
+  int last_index_used() const;
+
+  /// Value at the iteration point `iter` (size == depth()).
+  i64 eval(const Vec& iter) const;
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr scaled(i64 k) const;
+  AffineExpr plus_constant(i64 c) const;
+
+  /// Substitute i = j * T (row convention): returns the expression over the
+  /// new indices j whose value at j equals this->eval(j * T).
+  AffineExpr substitute(const intlin::Mat& t) const;
+
+  bool operator==(const AffineExpr& o) const = default;
+
+  /// "2*i1 - i3 + 4" using the given index names.
+  std::string to_string(const std::vector<std::string>& names) const;
+
+ private:
+  Vec coeffs_;
+  i64 constant_ = 0;
+};
+
+/// One max/min term of a loop bound: num/den with den > 0. A lower bound
+/// contributes ceil(num/den); an upper bound contributes floor(num/den).
+/// den > 1 appears only in transformed loops (Fourier-Motzkin output).
+struct BoundTerm {
+  AffineExpr num;
+  i64 den = 1;
+
+  bool operator==(const BoundTerm& o) const = default;
+};
+
+/// A loop bound: max over terms (lower) or min over terms (upper).
+class Bound {
+ public:
+  Bound() = default;
+  explicit Bound(AffineExpr e) { terms_.push_back({std::move(e), 1}); }
+  Bound(std::vector<BoundTerm> terms) : terms_(std::move(terms)) {}
+
+  /// Constant bound `c` over `depth` indices.
+  static Bound constant(int depth, i64 c) {
+    return Bound(AffineExpr::constant(depth, c));
+  }
+
+  const std::vector<BoundTerm>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+  void add_term(BoundTerm t) { terms_.push_back(std::move(t)); }
+
+  /// Evaluate as a lower bound: max over ceil(num/den).
+  i64 eval_lower(const Vec& iter) const;
+  /// Evaluate as an upper bound: min over floor(num/den).
+  i64 eval_upper(const Vec& iter) const;
+
+  /// Highest index referenced by any term (-1 if none).
+  int last_index_used() const;
+
+  bool operator==(const Bound& o) const = default;
+
+  std::string to_string(const std::vector<std::string>& names, bool lower) const;
+
+ private:
+  std::vector<BoundTerm> terms_;
+};
+
+}  // namespace vdep::loopir

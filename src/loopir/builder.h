@@ -1,0 +1,49 @@
+// Fluent construction of loop nests.
+//
+//   LoopNestBuilder b;
+//   b.loop("i1", -10, 10).loop("i2", -10, 10);
+//   b.array("A", {{-40, 40}, {-40, 40}});
+//   b.assign(b.ref("A", {b.idx(0) + b.idx(1)}), ...);
+//   LoopNest nest = b.build();
+#pragma once
+
+#include "loopir/nest.h"
+
+namespace vdep::loopir {
+
+class LoopNestBuilder {
+ public:
+  /// Adds a loop with constant bounds [lo, hi].
+  LoopNestBuilder& loop(const std::string& name, i64 lo, i64 hi);
+  /// Adds a loop with affine bounds over the outer indices.
+  LoopNestBuilder& loop(const std::string& name, Bound lower, Bound upper);
+  /// Declares an array with inclusive per-dimension ranges.
+  LoopNestBuilder& array(const std::string& name,
+                         std::vector<std::pair<i64, i64>> dims);
+  /// Appends `lhs = rhs` to the body.
+  LoopNestBuilder& assign(ArrayRef lhs, ExprPtr rhs);
+
+  /// Affine helpers bound to the *final* depth of the nest; call after all
+  /// loops are declared.
+  AffineExpr idx(int k) const;
+  AffineExpr cst(i64 c) const;
+  /// Affine expression c0 + sum coeffs[k]*i_k.
+  AffineExpr affine(const Vec& coeffs, i64 c0) const;
+  /// Array reference with affine subscripts.
+  ArrayRef ref(const std::string& array, std::vector<AffineExpr> subscripts) const;
+  /// Read expression.
+  ExprPtr read(const std::string& array, std::vector<AffineExpr> subscripts) const;
+
+  /// Validates and returns the nest.
+  LoopNest build() const;
+
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+ private:
+  std::vector<Level> levels_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<Assign> body_;
+  // Bounds/exprs are created against this depth; fixed at build() time.
+};
+
+}  // namespace vdep::loopir

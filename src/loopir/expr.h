@@ -1,0 +1,85 @@
+// Right-hand-side expression trees for loop-body statements.
+//
+// The dependence analysis only needs the *array references* (collected from
+// the tree); the interpreter evaluates the full tree so transformed loops
+// can be checked for semantic equivalence against the original execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loopir/affine.h"
+
+namespace vdep::loopir {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A reference A[s_1, ..., s_m] with affine subscripts s_k over the loop
+/// indices.
+struct ArrayRef {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+
+  int arity() const { return static_cast<int>(subscripts.size()); }
+  /// Element coordinates touched at iteration `iter`.
+  Vec element_at(const Vec& iter) const;
+  /// Linear part as an arity x depth matrix F (subscripts = F*i + f0).
+  intlin::Mat linear_part() const;
+  /// Constant part f0.
+  Vec constant_part() const;
+  /// Reference with every subscript rewritten over new indices j = i*T^{-1}
+  /// ... i.e. subscripts'(j) = subscripts(j*T).
+  ArrayRef substituted(const intlin::Mat& t) const;
+
+  bool operator==(const ArrayRef& o) const = default;
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+class Expr {
+ public:
+  enum class Kind { kConst, kRead, kAdd, kSub, kMul, kIndex };
+
+  Kind kind() const { return kind_; }
+  i64 value() const { return value_; }                // kConst
+  const ArrayRef& ref() const { return ref_; }        // kRead
+  int index() const { return index_; }                // kIndex
+  const ExprPtr& lhs() const { return lhs_; }         // binary nodes
+  const ExprPtr& rhs() const { return rhs_; }
+
+  static ExprPtr constant(i64 v);
+  static ExprPtr read(ArrayRef ref);
+  static ExprPtr index(int k);
+  static ExprPtr add(ExprPtr a, ExprPtr b);
+  static ExprPtr sub(ExprPtr a, ExprPtr b);
+  static ExprPtr mul(ExprPtr a, ExprPtr b);
+
+  /// Collect every array read in the tree (pre-order).
+  void collect_reads(std::vector<ArrayRef>* out) const;
+
+  /// The same tree with all array references substituted (j -> j*T).
+  ExprPtr substituted(const intlin::Mat& t) const;
+
+  std::string to_string(const std::vector<std::string>& names) const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  i64 value_ = 0;
+  int index_ = -1;
+  ArrayRef ref_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// An assignment statement: lhs_array[subscripts] = rhs.
+struct Assign {
+  ArrayRef lhs;
+  ExprPtr rhs;
+
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+}  // namespace vdep::loopir

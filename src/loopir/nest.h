@@ -1,0 +1,95 @@
+// The perfectly nested loop model of the paper (equation 2.1):
+//
+//   do i1 = p1, q1
+//     ...
+//     do in = pn, qn
+//       H(i1, ..., in)        -- a sequence of assignments
+//
+// Bounds p_k, q_k are integer (max/min of quasi-)affine functions of the
+// *outer* indices i1..i_{k-1}; the body is a sequence of assignment
+// statements over arrays with affine subscripts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "loopir/expr.h"
+
+namespace vdep::loopir {
+
+/// Declared shape of an array: inclusive [lo, hi] per dimension.
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::pair<i64, i64>> dims;
+
+  int arity() const { return static_cast<int>(dims.size()); }
+  i64 element_count() const;
+  /// Row-major linear offset of `coords`, throwing when out of range.
+  i64 linear_index(const Vec& coords) const;
+  bool in_range(const Vec& coords) const;
+};
+
+/// One loop level: name, lower/upper bound, and whether the level was
+/// proven parallel (DOALL). Step is always +1 in the base IR; strided
+/// execution appears only in partitioned nests (trans::PartitionedNest).
+struct Level {
+  std::string name;
+  Bound lower;
+  Bound upper;
+  bool parallel = false;
+};
+
+class LoopNest {
+ public:
+  LoopNest() = default;
+  LoopNest(std::vector<Level> levels, std::vector<ArrayDecl> arrays,
+           std::vector<Assign> body);
+
+  int depth() const { return static_cast<int>(levels_.size()); }
+  const std::vector<Level>& levels() const { return levels_; }
+  const Level& level(int k) const;
+  const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+  const std::vector<Assign>& body() const { return body_; }
+  std::vector<std::string> index_names() const;
+
+  const ArrayDecl& array(const std::string& name) const;
+  bool has_array(const std::string& name) const;
+
+  /// All array references in the body: every statement's write (lhs) and
+  /// every read in its rhs, with statement index and access kind.
+  struct Access {
+    ArrayRef ref;
+    int statement = 0;
+    bool is_write = false;
+  };
+  std::vector<Access> accesses() const;
+
+  /// Structural validation; throws PreconditionError on violations
+  /// (bounds referencing inner indices, unknown arrays, arity mismatches,
+  /// non-positive bound divisors).
+  void validate() const;
+
+  /// Sequential lexicographic enumeration of the iteration space.
+  void for_each_iteration(const std::function<void(const Vec&)>& fn) const;
+  /// Materialized iteration list (tests / ISDG on small spaces).
+  std::vector<Vec> iterations() const;
+  /// Number of points (enumerated; intended for bounded test spaces).
+  i64 iteration_count() const;
+  /// Whether `iter` lies inside all bounds.
+  bool contains(const Vec& iter) const;
+
+  /// Source-like rendering ("do i1 = ...").
+  std::string to_string() const;
+
+ private:
+  void enumerate(int k, Vec& iter, const std::function<void(const Vec&)>& fn) const;
+
+  std::vector<Level> levels_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<Assign> body_;
+};
+
+}  // namespace vdep::loopir

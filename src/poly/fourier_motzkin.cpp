@@ -1,0 +1,114 @@
+#include "poly/fourier_motzkin.h"
+
+#include "support/error.h"
+
+namespace vdep::poly {
+
+ConstraintSystem eliminate_variable(const ConstraintSystem& cs, int var) {
+  VDEP_REQUIRE(var >= 0 && var < cs.dim(), "eliminated variable out of range");
+  ConstraintSystem out(cs.dim());
+  std::vector<const Constraint*> pos, neg;
+  for (const Constraint& c : cs.constraints()) {
+    i64 a = c.coeffs[static_cast<std::size_t>(var)];
+    if (a > 0)
+      pos.push_back(&c);
+    else if (a < 0)
+      neg.push_back(&c);
+    else
+      out.add(c.coeffs, c.rhs);
+  }
+  for (const Constraint* p : pos) {
+    for (const Constraint* n : neg) {
+      i64 ap = p->coeffs[static_cast<std::size_t>(var)];
+      i64 an = checked::neg(n->coeffs[static_cast<std::size_t>(var)]);
+      i64 l = checked::lcm(ap, an);
+      i64 mp = l / ap;
+      i64 mn = l / an;
+      Vec coeffs = intlin::add(intlin::scale(p->coeffs, mp),
+                               intlin::scale(n->coeffs, mn));
+      VDEP_CHECK(coeffs[static_cast<std::size_t>(var)] == 0,
+                 "FM combination kept the variable");
+      i64 rhs = checked::add(checked::mul(p->rhs, mp), checked::mul(n->rhs, mn));
+      out.add(std::move(coeffs), rhs);
+    }
+  }
+  out.simplify();
+  return out;
+}
+
+bool relaxation_infeasible(const ConstraintSystem& cs) {
+  ConstraintSystem cur = cs;
+  for (int v = cs.dim() - 1; v >= 0; --v) {
+    for (const Constraint& c : cur.constraints())
+      if (intlin::is_zero(c.coeffs) && c.rhs < 0) return true;
+    cur = eliminate_variable(cur, v);
+  }
+  for (const Constraint& c : cur.constraints())
+    if (intlin::is_zero(c.coeffs) && c.rhs < 0) return true;
+  return false;
+}
+
+// Defined here (not in constraints.cpp) because it relies on FM projection.
+std::optional<std::pair<i64, i64>> ConstraintSystem::variable_range(int k) const {
+  VDEP_REQUIRE(k >= 0 && k < dim_, "variable_range index out of range");
+  ConstraintSystem cur = *this;
+  for (int v = dim_ - 1; v >= 0; --v) {
+    if (v == k) continue;
+    cur = eliminate_variable(cur, v);
+  }
+  bool have_lo = false, have_hi = false;
+  i64 lo = 0, hi = 0;
+  for (const Constraint& c : cur.constraints()) {
+    i64 a = c.coeffs[static_cast<std::size_t>(k)];
+    if (a > 0) {
+      i64 v = checked::floor_div(c.rhs, a);
+      hi = have_hi ? std::min(hi, v) : v;
+      have_hi = true;
+    } else if (a < 0) {
+      i64 v = checked::ceil_div(checked::neg(c.rhs), checked::neg(a));
+      lo = have_lo ? std::max(lo, v) : v;
+      have_lo = true;
+    }
+  }
+  if (!have_lo || !have_hi) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+NestBounds extract_bounds(const ConstraintSystem& cs) {
+  int n = cs.dim();
+  NestBounds out;
+  out.lower.resize(static_cast<std::size_t>(n));
+  out.upper.resize(static_cast<std::size_t>(n));
+
+  ConstraintSystem cur = cs;
+  for (int k = n - 1; k >= 0; --k) {
+    loopir::Bound lower, upper;
+    for (const Constraint& c : cur.constraints()) {
+      i64 a = c.coeffs[static_cast<std::size_t>(k)];
+      if (a == 0) continue;
+      // rest(x_outer) + a * x_k <= rhs.
+      Vec rest = c.coeffs;
+      rest[static_cast<std::size_t>(k)] = 0;
+      for (int m = k + 1; m < n; ++m)
+        VDEP_CHECK(rest[static_cast<std::size_t>(m)] == 0,
+                   "bound term references an inner index after FM");
+      if (a > 0) {
+        // x_k <= (rhs - rest) / a  -> floor term.
+        loopir::AffineExpr num(intlin::negate(rest), c.rhs);
+        upper.add_term({std::move(num), a});
+      } else {
+        // x_k >= (rest - rhs) / (-a) -> ceil term.
+        loopir::AffineExpr num(rest, checked::neg(c.rhs));
+        lower.add_term({std::move(num), checked::neg(a)});
+      }
+    }
+    VDEP_REQUIRE(!lower.empty() && !upper.empty(),
+                 "iteration space is unbounded in variable " + std::to_string(k));
+    out.lower[static_cast<std::size_t>(k)] = std::move(lower);
+    out.upper[static_cast<std::size_t>(k)] = std::move(upper);
+    if (k > 0) cur = eliminate_variable(cur, k);
+  }
+  return out;
+}
+
+}  // namespace vdep::poly

@@ -1,0 +1,39 @@
+// Exact integer Fourier-Motzkin elimination and loop-bound extraction.
+//
+// After a unimodular change of coordinates the iteration polytope is still
+// described by linear inequalities; scanning it as a loop nest requires
+// per-level bounds in terms of the outer indices only. Fourier-Motzkin
+// projection provides exactly that (the technique the paper cites for its
+// Section 4 code generation).
+//
+// The projection is the *rational* shadow: for a level k it can include an
+// outer value whose inner range is empty, but it never loses an integer
+// point — the generated loops visit exactly the original iteration set.
+#pragma once
+
+#include "loopir/affine.h"
+#include "poly/constraints.h"
+
+namespace vdep::poly {
+
+/// Projects variable `var` out of the system (rational shadow).
+/// Rows not mentioning `var` are kept; each (positive, negative) pair is
+/// combined with the lcm of the coefficients and gcd-normalized.
+ConstraintSystem eliminate_variable(const ConstraintSystem& cs, int var);
+
+/// True when even the rational relaxation is empty (FM derived 0 <= c with
+/// c < 0 at some stage).
+bool relaxation_infeasible(const ConstraintSystem& cs);
+
+/// Per-level loop bounds extracted from a full-dimensional system:
+/// bounds for level k reference indices 0..k-1 only.
+struct NestBounds {
+  std::vector<loopir::Bound> lower;
+  std::vector<loopir::Bound> upper;
+};
+
+/// Runs FM from the innermost variable outwards and converts the rows that
+/// mention each variable into ceil/floor bound terms.
+NestBounds extract_bounds(const ConstraintSystem& cs);
+
+}  // namespace vdep::poly

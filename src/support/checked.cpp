@@ -1,0 +1,30 @@
+#include "support/checked.h"
+
+namespace vdep::checked {
+
+ExtGcd ext_gcd(i64 a, i64 b) {
+  // Iterative extended Euclid on |a|, |b|; signs are restored at the end.
+  i64 old_r = abs(a), r = abs(b);
+  i64 old_s = 1, s = 0;
+  i64 old_t = 0, t = 1;
+  while (r != 0) {
+    i64 q = old_r / r;
+    i64 tmp = sub(old_r, mul(q, r));
+    old_r = r;
+    r = tmp;
+    tmp = sub(old_s, mul(q, s));
+    old_s = s;
+    s = tmp;
+    tmp = sub(old_t, mul(q, t));
+    old_t = t;
+    t = tmp;
+  }
+  ExtGcd out{old_r, old_s, old_t};
+  if (a < 0) out.x = neg(out.x);
+  if (b < 0) out.y = neg(out.y);
+  // Invariant: x*a + y*b == g >= 0.
+  VDEP_CHECK(add(mul(out.x, a), mul(out.y, b)) == out.g, "ext_gcd Bezout identity");
+  return out;
+}
+
+}  // namespace vdep::checked

@@ -1,0 +1,114 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// All exact lattice computations in vdep use int64_t; any operation that
+// would exceed its range throws OverflowError. GCC/Clang __builtin_*_overflow
+// intrinsics compile to a flag test, so the checks are essentially free
+// compared to the surrounding linear algebra.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "support/error.h"
+
+namespace vdep::checked {
+
+using i64 = std::int64_t;
+
+/// a + b, throwing OverflowError on wrap.
+inline i64 add(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_add_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in add(" + std::to_string(a) + ", " +
+                        std::to_string(b) + ")");
+  return r;
+}
+
+/// a - b, throwing OverflowError on wrap.
+inline i64 sub(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_sub_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in sub(" + std::to_string(a) + ", " +
+                        std::to_string(b) + ")");
+  return r;
+}
+
+/// a * b, throwing OverflowError on wrap.
+inline i64 mul(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw OverflowError("int64 overflow in mul(" + std::to_string(a) + ", " +
+                        std::to_string(b) + ")");
+  return r;
+}
+
+/// -a, throwing OverflowError for INT64_MIN.
+inline i64 neg(i64 a) { return sub(0, a); }
+
+/// |a|, throwing OverflowError for INT64_MIN.
+inline i64 abs(i64 a) { return a < 0 ? neg(a) : a; }
+
+/// a + b*c with a single overflow check chain (common inner-product step).
+inline i64 fma(i64 a, i64 b, i64 c) { return add(a, mul(b, c)); }
+
+/// Floor division: largest q with q*b <= a. b must be nonzero.
+/// (C++ `/` truncates toward zero; lattice math needs floor semantics.)
+inline i64 floor_div(i64 a, i64 b) {
+  VDEP_REQUIRE(b != 0, "floor_div by zero");
+  // INT64_MIN / -1 overflows.
+  if (b == -1) return neg(a);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division: smallest q with q*b >= a. b must be nonzero.
+inline i64 ceil_div(i64 a, i64 b) {
+  VDEP_REQUIRE(b != 0, "ceil_div by zero");
+  if (b == -1) return neg(a);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Mathematical modulus: always in [0, |b|), so a == |b|*k + mod(a,b).
+inline i64 mod(i64 a, i64 b) {
+  VDEP_REQUIRE(b != 0, "mod by zero");
+  i64 m = a % b;  // has the sign of a (truncated division)
+  if (m < 0) m += (b < 0 ? -b : b);
+  return m;
+}
+
+/// Nonnegative gcd; gcd(0,0) == 0.
+inline i64 gcd(i64 a, i64 b) {
+  a = abs(a);
+  b = abs(b);
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple (checked); lcm(0, x) == 0.
+inline i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd(a, b);
+  return mul(abs(a) / g, abs(b));
+}
+
+/// Extended gcd result: g = gcd(a,b) >= 0 and x*a + y*b == g.
+struct ExtGcd {
+  i64 g;
+  i64 x;
+  i64 y;
+};
+
+/// Extended Euclidean algorithm with Bezout coefficients.
+ExtGcd ext_gcd(i64 a, i64 b);
+
+}  // namespace vdep::checked

@@ -1,0 +1,27 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace vdep::detail {
+
+namespace {
+std::string format(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << cond << " at " << file << ":" << line
+     << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* cond, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition violated", cond, file, line, msg));
+}
+
+void throw_internal(const char* cond, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(format("internal invariant violated", cond, file, line, msg));
+}
+
+}  // namespace vdep::detail

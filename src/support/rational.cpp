@@ -1,0 +1,83 @@
+#include "support/rational.h"
+
+#include <ostream>
+
+namespace vdep {
+
+using checked::i64;
+
+Rational::Rational(i64 num, i64 den) : num_(num), den_(den) {
+  VDEP_REQUIRE(den != 0, "Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checked::neg(num_);
+    den_ = checked::neg(den_);
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  i64 g = checked::gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+i64 Rational::as_integer() const {
+  VDEP_REQUIRE(den_ == 1, "Rational " + to_string() + " is not integral");
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked::neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // Cross-cancel before multiplying to keep intermediates small.
+  i64 g = checked::gcd(den_, o.den_);
+  i64 lhs_scale = o.den_ / g;
+  i64 rhs_scale = den_ / g;
+  num_ = checked::add(checked::mul(num_, lhs_scale), checked::mul(o.num_, rhs_scale));
+  den_ = checked::mul(den_, lhs_scale);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  i64 g1 = checked::gcd(num_, o.den_);
+  i64 g2 = checked::gcd(o.num_, den_);
+  num_ = checked::mul(num_ / g1, o.num_ / g2);
+  den_ = checked::mul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  VDEP_REQUIRE(!o.is_zero(), "Rational division by zero");
+  return *this *= Rational(o.den_, o.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den  with positive denominators.
+  i64 lhs = checked::mul(a.num_, b.den_);
+  i64 rhs = checked::mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace vdep

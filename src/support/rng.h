@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generator for property tests and workload
+// generators. SplitMix64: tiny, fast, reproducible across platforms
+// (std::mt19937 distributions are not portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace vdep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    VDEP_REQUIRE(lo <= hi, "Rng::uniform empty range");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    VDEP_REQUIRE(den > 0 && num <= den, "Rng::chance bad probability");
+    return next_u64() % den < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vdep

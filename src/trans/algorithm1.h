@@ -1,0 +1,34 @@
+// Algorithm 1 of the paper: given a (non-full-rank) PDM H with rank rho,
+// find a *legal* unimodular T such that the first n - rho columns of H*T are
+// zero — by Lemma 1 the corresponding (outermost) loops of the transformed
+// nest are DOALL.
+//
+// The construction processes PDM rows bottom-up, gcd-reducing each row's
+// entries into its target pivot column with elementary column operations
+// (right skews, interchanges and column negations). The final product is
+// verified against Theorem 1 — H*T must be echelon with lexicographically
+// positive rows — so legality is established exactly, not assumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trans/legality.h"
+
+namespace vdep::trans {
+
+struct Algorithm1Result {
+  Mat t;                ///< legal unimodular transform
+  Mat transformed_pdm;  ///< H * T == [0 ... 0 | R], R upper triangular
+  int zero_columns = 0; ///< n - rank(H): number of leading DOALL loops
+  /// Human-readable op log ("skew(0,1,-2)", "interchange(1,2)", ...),
+  /// mostly for diagnostics and the worked examples.
+  std::vector<std::string> ops;
+};
+
+/// Runs Algorithm 1 on a PDM in Hermite normal form. Accepts full-rank
+/// matrices too (zero_columns == 0, T normalizes the block to upper
+/// triangular form, which an HNF already is — then T == identity).
+Algorithm1Result algorithm1(const Mat& pdm);
+
+}  // namespace vdep::trans

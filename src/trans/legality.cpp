@@ -1,0 +1,87 @@
+#include "trans/legality.h"
+
+#include "intlin/det.h"
+#include "support/error.h"
+
+namespace vdep::trans {
+
+bool is_legal_transform(const Mat& pdm, const Mat& t) {
+  if (!intlin::is_unimodular(t)) return false;
+  if (pdm.rows() == 0) return true;  // no dependences constrain the order
+  VDEP_REQUIRE(pdm.cols() == t.rows(), "PDM / transform shape mismatch");
+  return intlin::is_echelon_lex_positive(pdm * t);
+}
+
+bool legal_composition(const Mat& pdm, const Mat& t1, const Mat& t2) {
+  if (!is_legal_transform(pdm, t1)) return false;
+  return is_legal_transform(pdm * t1, t2);
+}
+
+Mat right_skew(int n, int src, int dst, i64 k) {
+  VDEP_REQUIRE(src >= 0 && dst >= 0 && src < n && dst < n && src != dst,
+               "right_skew index out of range");
+  VDEP_REQUIRE(src < dst, "right_skew requires src < dst (Corollary 2)");
+  Mat t = Mat::identity(n);
+  t.at(src, dst) = k;  // (i*T)_dst = i_dst + k * i_src
+  return t;
+}
+
+Mat interchange(int n, int a, int b) {
+  VDEP_REQUIRE(a >= 0 && b >= 0 && a < n && b < n, "interchange out of range");
+  Mat t = Mat::identity(n);
+  t.swap_cols(a, b);
+  return t;
+}
+
+Mat reversal(int n, int k) {
+  VDEP_REQUIRE(k >= 0 && k < n, "reversal out of range");
+  Mat t = Mat::identity(n);
+  t.at(k, k) = -1;
+  return t;
+}
+
+Mat cycle(int n, int from, int to) {
+  VDEP_REQUIRE(from >= 0 && from < n && to >= 0 && to < n, "cycle out of range");
+  Mat t(n, n);
+  // Column layout of T: new index at position `to` reads old index `from`.
+  // Remaining indices keep their relative order.
+  std::vector<int> order;  // order[p] = old index placed at new position p
+  for (int p = 0, old = 0; p < n; ++p) {
+    if (p == to) {
+      order.push_back(from);
+      continue;
+    }
+    if (old == from) ++old;
+    order.push_back(old++);
+  }
+  for (int p = 0; p < n; ++p) t.at(order[static_cast<std::size_t>(p)], p) = 1;
+  return t;
+}
+
+Mat skew(int n, int src, int dst, i64 k) {
+  VDEP_REQUIRE(src >= 0 && dst >= 0 && src < n && dst < n && src != dst,
+               "skew index out of range");
+  Mat t = Mat::identity(n);
+  t.at(src, dst) = k;
+  return t;
+}
+
+bool skew_is_legal(const Mat& pdm, int src, int dst, i64 k) {
+  if (src < dst) return true;  // Corollary 2: right skewing is always legal
+  return is_legal_transform(pdm, skew(pdm.cols(), src, dst, k));
+}
+
+bool shift_is_legal(const Mat& pdm, int from, int to) {
+  if (from == to) return true;
+  if (!pdm.col_is_zero(from)) {
+    // A nonzero column may still move legally; defer to Theorem 1.
+    return is_legal_transform(pdm, cycle(pdm.cols(), from, to));
+  }
+  return is_legal_transform(pdm, cycle(pdm.cols(), from, to));
+}
+
+bool interchange_is_legal(const Mat& pdm, int a, int b) {
+  return is_legal_transform(pdm, interchange(pdm.cols(), a, b));
+}
+
+}  // namespace vdep::trans

@@ -1,0 +1,58 @@
+// Legality of loop transformations under a pseudo distance matrix
+// (paper Section 3.1).
+//
+// Row-vector convention: a unimodular T maps iteration i to j = i*T, and a
+// distance d to d*T. Theorem 1: T is legal iff H*T is an echelon matrix
+// with lexicographically positive rows — then every lex-positive distance
+// d = t*H (t lex-positive, Lemma 2) maps to the lex-positive d*T = t*(H*T).
+#pragma once
+
+#include "dep/pdm.h"
+
+namespace vdep::trans {
+
+using dep::Pdm;
+using intlin::i64;
+using intlin::Mat;
+using intlin::Vec;
+
+/// Theorem 1 check: T unimodular and H*T echelon with lex-positive rows.
+/// An empty PDM (no dependences) accepts any unimodular T.
+bool is_legal_transform(const Mat& pdm, const Mat& t);
+
+/// Composition (Corollary 1): both steps legal => product legal. Checked
+/// variant used by the algorithm's op-log replay in tests.
+bool legal_composition(const Mat& pdm, const Mat& t1, const Mat& t2);
+
+// ---- elementary transformations (all n x n, row-vector convention) ----
+
+/// General skew: new index dst becomes i_dst + k * i_src.
+Mat skew(int n, int src, int dst, i64 k);
+
+/// Right skewing (Corollary 2): requires src < dst; always legal on a PDM
+/// in echelon form.
+Mat right_skew(int n, int src, int dst, i64 k);
+
+/// Loop interchange of levels a and b (legal under Corollary 4 conditions;
+/// check with is_legal_transform).
+Mat interchange(int n, int a, int b);
+
+/// Loop reversal of level k (rarely legal on its own; provided for the
+/// uniform-distance baseline searches).
+Mat reversal(int n, int k);
+
+/// Cyclic shift moving level `from` to position `to`, preserving the
+/// relative order of the others (Corollary 3: legal when column `from`
+/// of the PDM is zero and it moves to the front).
+Mat cycle(int n, int from, int to);
+
+/// Corollary 2 predicate (always true for src < dst; kept for symmetry).
+bool skew_is_legal(const Mat& pdm, int src, int dst, i64 k);
+
+/// Corollary 3 predicate: column `from` of the PDM is zero.
+bool shift_is_legal(const Mat& pdm, int from, int to);
+
+/// Corollary 4-style predicate, implemented exactly via Theorem 1.
+bool interchange_is_legal(const Mat& pdm, int a, int b);
+
+}  // namespace vdep::trans

@@ -1,0 +1,68 @@
+#include "trans/planner.h"
+
+#include <sstream>
+
+#include "intlin/det.h"
+#include "support/error.h"
+
+namespace vdep::trans {
+
+bool TransformPlan::is_identity_transform() const {
+  return t == Mat::identity(depth);
+}
+
+std::string TransformPlan::to_string() const {
+  std::ostringstream os;
+  os << "TransformPlan{T=" << t.to_string()
+     << ", H*T=" << transformed_pdm.to_string() << ", doall=" << num_doall
+     << ", classes=" << partition_classes << "}";
+  return os.str();
+}
+
+TransformPlan plan_transform(const dep::Pdm& pdm) {
+  TransformPlan plan;
+  plan.depth = pdm.depth();
+  int n = pdm.depth();
+  int rho = pdm.rank();
+
+  if (rho == 0) {
+    // No dependence distances at all: the nest is fully parallel as-is.
+    plan.t = Mat::identity(n);
+    plan.transformed_pdm = Mat(0, n);
+    plan.num_doall = n;
+    return plan;
+  }
+
+  if (rho == n) {
+    // Full rank: the HNF is already upper triangular — partition directly
+    // (T = I keeps the paper's "no restructuring needed" property).
+    plan.t = Mat::identity(n);
+    plan.transformed_pdm = pdm.matrix();
+  } else {
+    Algorithm1Result a1 = algorithm1(pdm.matrix());
+    plan.t = std::move(a1.t);
+    plan.transformed_pdm = std::move(a1.transformed_pdm);
+    plan.num_doall = a1.zero_columns;
+    plan.algorithm1_ops = std::move(a1.ops);
+  }
+
+  // Trailing rho x rho block: rows 0..rho-1, columns n-rho..n-1.
+  // Re-canonicalize as an HNF: Algorithm 1 guarantees the echelon shape but
+  // not reduced above-diagonal entries; the partition classes only depend
+  // on the *lattice*, which the HNF preserves.
+  Mat block(rho, rho);
+  for (int r = 0; r < rho; ++r)
+    for (int c = 0; c < rho; ++c)
+      block.at(r, c) = plan.transformed_pdm.at(r, n - rho + c);
+  block = intlin::hermite_normal_form(block);
+  VDEP_CHECK(block.rows() == rho, "trailing PDM block lost rank");
+  i64 det = intlin::determinant(block);
+  VDEP_CHECK(det > 0, "trailing PDM block must have positive determinant");
+  if (det > 1) {
+    plan.partition.emplace(std::move(block));
+    plan.partition_classes = det;
+  }
+  return plan;
+}
+
+}  // namespace vdep::trans

@@ -1,0 +1,53 @@
+// The paper's complete transformation strategy:
+//
+//   1. empty PDM                -> every loop is DOALL (T = I);
+//   2. rank(H) < n              -> Algorithm 1: legal unimodular T with
+//                                  n - rank leading zero columns = outer
+//                                  DOALL loops; then
+//   3. the trailing rho x rho full-rank block R of H*T (or H itself when
+//      full rank, with T = I)   -> Theorem 2 partitioning into det(R)
+//                                  independent classes when det(R) > 1.
+//
+// The plan is a pure analysis artifact: code generation (codegen/) and
+// execution (exec/) consume it.
+#pragma once
+
+#include <optional>
+
+#include "trans/algorithm1.h"
+#include "trans/partition.h"
+
+namespace vdep::trans {
+
+struct TransformPlan {
+  int depth = 0;
+
+  /// Legal unimodular transform (j = i * T). Identity when no reordering
+  /// is needed (full-rank or empty PDM).
+  Mat t;
+  /// H * T.
+  Mat transformed_pdm;
+
+  /// Number of leading DOALL loops of the transformed nest (zero columns).
+  int num_doall = 0;
+
+  /// Partitioning of the trailing full-rank block, when det > 1.
+  /// Operates on the *transformed* coordinates j_{num_doall..n-1}.
+  std::optional<Partitioning> partition;
+
+  /// det of the partitioned block (1 when not partitioned).
+  i64 partition_classes = 1;
+
+  /// True when T == identity (no loop restructuring, only partitioning).
+  bool is_identity_transform() const;
+
+  /// The op log of Algorithm 1 (empty if it did not run).
+  std::vector<std::string> algorithm1_ops;
+
+  std::string to_string() const;
+};
+
+/// Derive the transformation plan from a PDM (Section 3 of the paper).
+TransformPlan plan_transform(const dep::Pdm& pdm);
+
+}  // namespace vdep::trans

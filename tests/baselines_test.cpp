@@ -1,0 +1,152 @@
+// Tests for the related-work baselines (Table 1 regeneration machinery):
+// every method must produce verified-legal schedules, respect its stated
+// applicability limits, and lose to the PDM method exactly where the paper
+// says it does.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "core/suite.h"
+
+namespace vdep::baselines {
+namespace {
+
+using core::example41;
+using core::example42;
+
+TEST(Serial, AlwaysApplicableWidthOne) {
+  Outcome o = run_serial(example41(4));
+  EXPECT_TRUE(o.applicable);
+  EXPECT_EQ(o.width, 1);
+  EXPECT_EQ(o.steps, 9 * 9);
+  EXPECT_TRUE(o.verified);
+}
+
+TEST(UniformUnimodular, NotApplicableOnVariableDistances) {
+  EXPECT_FALSE(run_uniform_unimodular(example41(4)).applicable);
+  EXPECT_FALSE(run_uniform_unimodular(example42(4)).applicable);
+}
+
+TEST(UniformUnimodular, WavefrontOnClassicStencil) {
+  Outcome o = run_uniform_unimodular(core::uniform_wavefront(6));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  // Anti-diagonal wavefront: 2n+1 phases over the (n+1)^2 square.
+  EXPECT_EQ(o.steps, 13);
+  EXPECT_EQ(o.width, 7);  // widest anti-diagonal
+}
+
+TEST(UniformUnimodular, DependenceFreeLoopIsOnePhase) {
+  Outcome o = run_uniform_unimodular(core::parity_independent(5));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_EQ(o.steps, 1);
+  EXPECT_EQ(o.width, 36);
+}
+
+TEST(UniformPartitioning, BlockedLoopGetsFourClasses) {
+  Outcome o = run_uniform_partitioning(core::uniform_blocked(7));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  EXPECT_TRUE(o.coarse_grain);
+  EXPECT_EQ(o.width, 4);  // lattice {(2,0),(0,2)}: det 4
+}
+
+TEST(UniformPartitioning, NotApplicableOnVariableDistances) {
+  EXPECT_FALSE(run_uniform_partitioning(example41(4)).applicable);
+  EXPECT_FALSE(run_uniform_partitioning(example42(4)).applicable);
+}
+
+TEST(DirectionVectors, SequentialChainStaysSerial) {
+  Outcome o = run_direction_vector_method(core::sequential_chain(9));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  EXPECT_EQ(o.width, 1);
+  EXPECT_EQ(o.steps, 10);
+}
+
+TEST(DirectionVectors, ZeroColumnLoopKeepsInnerDoall) {
+  Outcome o = run_direction_vector_method(core::zero_column(6));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  EXPECT_EQ(o.steps, 7);   // i1 sequential
+  EXPECT_EQ(o.width, 7);   // i2 parallel
+}
+
+TEST(DirectionVectors, VariableDistancesLoseToPdm) {
+  // On example 4.1 direction vectors see (<,>) and (=,?)-like patterns;
+  // level analysis keeps both loops sequential while the PDM finds
+  // (4N+1) x 2 independent items.
+  Outcome dv = run_direction_vector_method(example41(4));
+  Outcome pdm = run_pdm_method(example41(4));
+  ASSERT_TRUE(dv.applicable);
+  ASSERT_TRUE(pdm.applicable);
+  EXPECT_TRUE(dv.verified);
+  EXPECT_TRUE(pdm.verified);
+  EXPECT_GT(pdm.width, dv.width);
+  EXPECT_LT(pdm.steps, dv.steps);
+}
+
+TEST(Hyperplane, SchedulesRankOneVariableLoop) {
+  // Example 4.1 distances are multiples of (2,-2): pi = (1,0)-ish schedules
+  // exist (observed distances have positive first component).
+  Outcome o = run_hyperplane_schedule(example41(4));
+  EXPECT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  EXPECT_GT(o.width, 1);
+}
+
+TEST(Hyperplane, DependenceFree) {
+  Outcome o = run_hyperplane_schedule(core::parity_independent(4));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_EQ(o.steps, 1);
+}
+
+TEST(PdmMethod, Example41Shape) {
+  Outcome o = run_pdm_method(example41(5));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_TRUE(o.verified);
+  EXPECT_TRUE(o.coarse_grain);
+  EXPECT_GE(o.width, 2 * (4 * 5 + 1) - 2);  // ~2 classes per doall value
+  EXPECT_LE(o.steps, 2 * 5 + 1);
+}
+
+TEST(PdmMethod, Example42DetFour) {
+  Outcome o = run_pdm_method(example42(5));
+  ASSERT_TRUE(o.applicable);
+  EXPECT_EQ(o.width, 4);
+  EXPECT_TRUE(o.verified);
+}
+
+TEST(PdmMethod, NeverWorseThanSerialAcrossSuite) {
+  for (const core::NamedNest& c : core::paper_suite(4)) {
+    Outcome serial = run_serial(c.nest);
+    Outcome pdm = run_pdm_method(c.nest);
+    EXPECT_TRUE(pdm.verified) << c.name;
+    EXPECT_LE(pdm.steps, serial.steps) << c.name;
+    EXPECT_GE(pdm.width, serial.width) << c.name;
+  }
+}
+
+TEST(AllMethods, RunAcrossSuiteAndStayLegal) {
+  for (const core::NamedNest& c : core::paper_suite(3)) {
+    std::vector<Outcome> outs = run_all_methods(c.nest);
+    ASSERT_EQ(outs.size(), 6u) << c.name;
+    for (const Outcome& o : outs) {
+      if (o.applicable) {
+        EXPECT_TRUE(o.verified) << c.name << " " << o.method;
+      }
+    }
+    // The PDM row is last and always applicable.
+    EXPECT_EQ(outs.back().method, "PDM (this work)");
+    EXPECT_TRUE(outs.back().applicable);
+  }
+}
+
+TEST(AllMethods, TableFormatting) {
+  std::string table = format_table("example_4_1", run_all_methods(example41(3)));
+  EXPECT_NE(table.find("PDM (this work)"), std::string::npos);
+  EXPECT_NE(table.find("Banerjee90"), std::string::npos);
+  EXPECT_NE(table.find("not applicable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdep::baselines

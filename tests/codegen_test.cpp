@@ -1,0 +1,210 @@
+// Tests for nest rewriting (unimodular + Fourier-Motzkin bounds) and the C
+// emitter — including compiling the emitted C with the host compiler and
+// comparing checksums of original vs transformed programs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "codegen/emit_c.h"
+#include "codegen/rewrite.h"
+#include "dep/pdm.h"
+#include "exec/interpreter.h"
+#include "loopir/builder.h"
+#include "trans/planner.h"
+
+namespace vdep::codegen {
+namespace {
+
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+LoopNest example41(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 5 * n + 10;
+  b.array("A", {{-ext, ext}, {-ext, ext}});
+  b.assign(b.ref("A", {b.affine({3, -2}, 2), b.affine({-2, 3}, -2)}),
+           Expr::add(Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                               b.read("A", {b.affine({1, 0}, 2),
+                                            b.affine({0, 1}, -2)})),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest example42(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 3 * n + 10;
+  b.array("A", {{-ext, ext}});
+  b.array("B", {{-n, n}, {-n, n}});
+  b.assign(b.ref("A", {b.affine({1, -2}, 4)}),
+           Expr::add(b.read("A", {b.affine({1, -2}, 0)}), Expr::constant(1)));
+  b.assign(b.ref("B", {b.idx(0), b.idx(1)}),
+           b.read("A", {b.affine({1, -2}, 8)}));
+  return b.build();
+}
+
+trans::TransformPlan plan_for(const LoopNest& nest) {
+  return trans::plan_transform(dep::compute_pdm(nest));
+}
+
+// ----------------------------------------------------------- rewriting
+
+TEST(Rewrite, BijectionOnExample41) {
+  LoopNest nest = example41(6);
+  trans::TransformPlan plan = plan_for(nest);
+  TransformedNest tn = rewrite_nest(nest, plan);
+  std::set<intlin::Vec> original;
+  for (const auto& i : nest.iterations()) original.insert(i);
+  std::set<intlin::Vec> mapped;
+  i64 count = 0;
+  tn.nest.for_each_iteration([&](const intlin::Vec& j) {
+    mapped.insert(tn.original_iteration(j));
+    ++count;
+  });
+  EXPECT_EQ(count, static_cast<i64>(original.size()));  // no duplicates
+  EXPECT_EQ(mapped, original);                          // exact cover
+}
+
+TEST(Rewrite, RoundTripIterationMapping) {
+  LoopNest nest = example41(4);
+  trans::TransformPlan plan = plan_for(nest);
+  TransformedNest tn = rewrite_nest(nest, plan);
+  for (const auto& i : nest.iterations()) {
+    intlin::Vec j = tn.transformed_iteration(i);
+    EXPECT_EQ(tn.original_iteration(j), i);
+    EXPECT_TRUE(tn.nest.contains(j));
+  }
+}
+
+TEST(Rewrite, MarksDoallLevels) {
+  LoopNest nest = example41(4);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_EQ(plan.num_doall, 1);
+  TransformedNest tn = rewrite_nest(nest, plan);
+  EXPECT_TRUE(tn.nest.level(0).parallel);
+  EXPECT_FALSE(tn.nest.level(1).parallel);
+}
+
+TEST(Rewrite, SubstitutedBodyComputesSameValues) {
+  // Running the rewritten nest sequentially (its own j-order) must produce
+  // the same store as the original: j-order is legal by Theorem 1.
+  LoopNest nest = example41(5);
+  trans::TransformPlan plan = plan_for(nest);
+  TransformedNest tn = rewrite_nest(nest, plan);
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+  exec::run_sequential(tn.nest, got);
+  EXPECT_EQ(ref, got);
+}
+
+TEST(Rewrite, IdentityTransformKeepsBounds) {
+  LoopNest nest = example42(7);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_TRUE(plan.is_identity_transform());
+  TransformedNest tn = rewrite_nest(nest, plan);
+  EXPECT_EQ(tn.nest.iteration_count(), nest.iteration_count());
+  for (const auto& i : nest.iterations())
+    EXPECT_EQ(tn.original_iteration(i), i);
+}
+
+TEST(Rewrite, RejectsBadShapes) {
+  LoopNest nest = example41(3);
+  EXPECT_THROW(rewrite_nest(nest, intlin::Mat::identity(3), 0),
+               PreconditionError);
+  EXPECT_THROW(rewrite_nest(nest, intlin::Mat::identity(2), 5),
+               PreconditionError);
+}
+
+// ------------------------------------------------------------ emission
+
+TEST(EmitC, OriginalContainsLoopsAndBody) {
+  std::string src = emit_c_original(example41(10));
+  EXPECT_NE(src.find("for (int64_t i1 = -10; i1 <= 10; ++i1)"), std::string::npos);
+  EXPECT_NE(src.find("A(3*i1 - 2*i2 + 2, -2*i1 + 3*i2 - 2)"), std::string::npos);
+  EXPECT_NE(src.find("int main(void)"), std::string::npos);
+}
+
+TEST(EmitC, TransformedHasDoallAndClasses) {
+  LoopNest nest = example41(10);
+  std::string src = emit_c_transformed(nest, plan_for(nest));
+  EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(src.find("/* doall */"), std::string::npos);
+  EXPECT_NE(src.find("vdep_class"), std::string::npos);
+}
+
+TEST(EmitC, PartitionedOnlyPlanEmitsStridedLoops) {
+  LoopNest nest = example42(10);
+  std::string src = emit_c_transformed(nest, plan_for(nest));
+  EXPECT_NE(src.find("vdep_class < 4"), std::string::npos);
+  EXPECT_NE(src.find("+= 2"), std::string::npos);  // stride h_kk = 2
+}
+
+namespace {
+
+// Compiles `src` and returns the stdout of the produced binary.
+std::string compile_and_run(const std::string& src, const std::string& tag) {
+  std::string dir = ::testing::TempDir();
+  std::string cpath = dir + "/vdep_" + tag + ".c";
+  std::string bin = dir + "/vdep_" + tag + ".bin";
+  {
+    std::ofstream f(cpath);
+    f << src;
+  }
+  std::string cmd = "cc -O1 -std=c99 -o " + bin + " " + cpath + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "compilation failed for " << tag;
+  if (rc != 0) return "";
+  FILE* p = popen((bin + " 2>&1").c_str(), "r");
+  EXPECT_NE(p, nullptr);
+  std::string out;
+  char buf[256];
+  while (p && fgets(buf, sizeof buf, p)) out += buf;
+  if (p) pclose(p);
+  return out;
+}
+
+}  // namespace
+
+TEST(EmitCIntegration, Example41ChecksumsMatch) {
+  LoopNest nest = example41(8);
+  std::string a = compile_and_run(emit_c_original(nest), "orig41");
+  std::string b = compile_and_run(emit_c_transformed(nest, plan_for(nest)),
+                                  "trans41");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EmitCIntegration, Example42ChecksumsMatch) {
+  LoopNest nest = example42(8);
+  std::string a = compile_and_run(emit_c_original(nest), "orig42");
+  std::string b = compile_and_run(emit_c_transformed(nest, plan_for(nest)),
+                                  "trans42");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EmitCIntegration, UniformLoopChecksumsMatch) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 12).loop("i2", 0, 12);
+  b.array("A", {{-4, 20}, {-4, 20}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 2), b.affine({0, 1}, 0)}),
+           Expr::add(b.read("A", {b.idx(0), b.affine({0, 1}, -2)}),
+                     b.read("A", {b.affine({1, 0}, 2), b.affine({0, 1}, 2)})));
+  LoopNest nest = b.build();
+  std::string x = compile_and_run(emit_c_original(nest), "origu");
+  std::string y = compile_and_run(emit_c_transformed(nest, plan_for(nest)),
+                                  "transu");
+  ASSERT_FALSE(x.empty());
+  EXPECT_EQ(x, y);
+}
+
+}  // namespace
+}  // namespace vdep::codegen

@@ -1,0 +1,95 @@
+// End-to-end tests of the PdmParallelizer pipeline and the canonical suite.
+#include <gtest/gtest.h>
+
+#include "core/parallelizer.h"
+#include "core/suite.h"
+
+namespace vdep::core {
+namespace {
+
+TEST(Suite, AllNestsValidateAndEnumerate) {
+  for (const NamedNest& c : paper_suite(4)) {
+    EXPECT_GT(c.nest.iteration_count(), 0) << c.name;
+    EXPECT_FALSE(c.nest.to_string().empty()) << c.name;
+  }
+}
+
+TEST(Suite, ExpectedPdmShapes) {
+  EXPECT_EQ(dep::compute_pdm(example41(6)).matrix(),
+            intlin::Mat::from_rows({{2, -2}}));
+  EXPECT_EQ(dep::compute_pdm(example42(6)).matrix(),
+            intlin::Mat::from_rows({{2, 1}, {0, 2}}));
+  EXPECT_EQ(dep::compute_pdm(uniform_wavefront(6)).matrix(),
+            intlin::Mat::identity(2));
+  EXPECT_EQ(dep::compute_pdm(variable_3deep(4)).matrix(),
+            intlin::Mat::from_rows({{2, -2, 0}}));
+  EXPECT_TRUE(dep::compute_pdm(parity_independent(4)).empty());
+}
+
+TEST(Parallelizer, Example41FullReport) {
+  PdmParallelizer p;
+  Report r = p.analyze(example41(6));
+  EXPECT_EQ(r.doall_loops, 1);
+  EXPECT_EQ(r.partition_classes, 2);
+  EXPECT_GT(r.work_items, 2);
+  EXPECT_EQ(r.total_iterations, 13 * 13);
+  std::string s = r.summary();
+  EXPECT_NE(s.find("PDM"), std::string::npos);
+  EXPECT_NE(s.find("doall"), std::string::npos);
+  EXPECT_NE(s.find("[variable]"), std::string::npos);
+  EXPECT_FALSE(r.c_original.empty());
+  EXPECT_FALSE(r.c_transformed.empty());
+}
+
+TEST(Parallelizer, Example42FourClasses) {
+  PdmParallelizer p;
+  Report r = p.analyze(example42(6));
+  EXPECT_EQ(r.doall_loops, 0);
+  EXPECT_EQ(r.partition_classes, 4);
+  EXPECT_EQ(r.work_items, 4);
+}
+
+TEST(Parallelizer, CheckedParallelizationAcrossSuite) {
+  PdmParallelizer::Options opts;
+  opts.emit_c = false;
+  PdmParallelizer p(opts);
+  ThreadPool pool(4);
+  for (const NamedNest& c : paper_suite(4)) {
+    // parallelize_and_check throws on any divergence from sequential.
+    Report r = p.parallelize_and_check(c.nest, pool);
+    EXPECT_GT(r.total_iterations, 0) << c.name;
+  }
+}
+
+TEST(Parallelizer, Variable3DeepGetsTwoDoall) {
+  PdmParallelizer::Options opts;
+  opts.emit_c = false;
+  PdmParallelizer p(opts);
+  Report r = p.analyze(variable_3deep(3));
+  EXPECT_EQ(r.doall_loops, 2);
+  EXPECT_EQ(r.partition_classes, 2);
+}
+
+TEST(Parallelizer, MeasureCanBeDisabled) {
+  PdmParallelizer::Options opts;
+  opts.measure = false;
+  opts.emit_c = false;
+  PdmParallelizer p(opts);
+  Report r = p.analyze(example41(4));
+  EXPECT_EQ(r.work_items, 0);
+  EXPECT_EQ(r.doall_loops, 1);
+}
+
+TEST(Parallelizer, SequentialChainReportsNoParallelism) {
+  PdmParallelizer::Options opts;
+  opts.emit_c = false;
+  PdmParallelizer p(opts);
+  Report r = p.analyze(sequential_chain(9));
+  EXPECT_EQ(r.doall_loops, 0);
+  EXPECT_EQ(r.partition_classes, 1);
+  EXPECT_EQ(r.work_items, 1);
+  EXPECT_EQ(r.max_item, 10);
+}
+
+}  // namespace
+}  // namespace vdep::core

@@ -1,0 +1,450 @@
+// Tests for dependence analysis: equation solving, distance lattices, PDM
+// construction (paper Section 2), classical tests and direction vectors.
+// The two reconstructed paper examples act as ground truth; a brute-force
+// conflict scan over small iteration spaces cross-validates the lattices.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dep/classic_tests.h"
+#include "dep/dependence.h"
+#include "dep/direction.h"
+#include "dep/pdm.h"
+#include "loopir/builder.h"
+#include "support/rng.h"
+
+namespace vdep::dep {
+namespace {
+
+using loopir::AffineExpr;
+using loopir::ArrayRef;
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+// Paper Example 4.1 (reconstructed, DESIGN.md §3):
+//   do i1 = -N,N ; do i2 = -N,N
+//     A[3i1-2i2+2, -2i1+3i2-2] = A[i1,i2] + A[i1+2,i2-2] + 1
+LoopNest example41(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 5 * n + 10;
+  b.array("A", {{-ext, ext}, {-ext, ext}});
+  b.assign(b.ref("A", {b.affine({3, -2}, 2), b.affine({-2, 3}, -2)}),
+           Expr::add(Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                               b.read("A", {b.affine({1, 0}, 2),
+                                            b.affine({0, 1}, -2)})),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+// Paper Example 4.2 (reconstructed, DESIGN.md §3):
+//   do i1 = -N,N ; do i2 = -N,N
+//     A[i1-2i2+4] = A[i1-2i2] + 1
+//     B[i1,i2]    = A[i1-2i2+8]
+LoopNest example42(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 3 * n + 10;
+  b.array("A", {{-ext, ext}});
+  b.array("B", {{-n, n}, {-n, n}});
+  b.assign(b.ref("A", {b.affine({1, -2}, 4)}),
+           Expr::add(b.read("A", {b.affine({1, -2}, 0)}), Expr::constant(1)));
+  b.assign(b.ref("B", {b.idx(0), b.idx(1)}),
+           b.read("A", {b.affine({1, -2}, 8)}));
+  return b.build();
+}
+
+// Uniform-distance loop: A[i1+1, i2+2] = A[i1, i2] (constant d = (1,2)).
+LoopNest uniform_nest(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, n).loop("i2", 0, n);
+  b.array("A", {{-2, n + 2}, {-2, n + 2}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 1), b.affine({0, 1}, 2)}),
+           b.read("A", {b.idx(0), b.idx(1)}));
+  return b.build();
+}
+
+// ----------------------------------------------------------- solve_pair
+
+TEST(SolvePair, UniformDistanceIsConstant) {
+  LoopNest nest = uniform_nest(10);
+  auto acc = nest.accesses();
+  PairDependence s = solve_pair(acc[0].ref, acc[1].ref);
+  ASSERT_TRUE(s.exists);
+  EXPECT_TRUE(s.is_uniform());
+  // Constant distance (1,2): write at i touches what j = i + (1,2) reads.
+  EXPECT_TRUE(s.admits_distance(Vec{1, 2}));
+  EXPECT_FALSE(s.admits_distance(Vec{1, 1}));
+  EXPECT_FALSE(s.admits_distance(Vec{2, 4}));
+}
+
+TEST(SolvePair, Example41FlowHasEvenMultiplesOf1m1) {
+  LoopNest nest = example41(10);
+  auto acc = nest.accesses();
+  ASSERT_EQ(acc.size(), 3u);
+  PairDependence s = solve_pair(acc[0].ref, acc[1].ref);  // write vs A[i1,i2]
+  ASSERT_TRUE(s.exists);
+  EXPECT_FALSE(s.is_uniform());
+  for (i64 k = -4; k <= 4; ++k)
+    EXPECT_TRUE(s.admits_distance(Vec{2 * k, -2 * k})) << k;
+  EXPECT_FALSE(s.admits_distance(Vec{1, -1}));
+  EXPECT_FALSE(s.admits_distance(Vec{3, -3}));
+  EXPECT_FALSE(s.admits_distance(Vec{2, 2}));
+  EXPECT_EQ(s.pdm_lattice().basis(), Mat::from_rows({{2, -2}}));
+}
+
+TEST(SolvePair, Example41SelfOutputOnlyZero) {
+  LoopNest nest = example41(10);
+  auto acc = nest.accesses();
+  PairDependence s = solve_pair(acc[0].ref, acc[0].ref);
+  ASSERT_TRUE(s.exists);        // d = 0 (same iteration) always solves
+  EXPECT_TRUE(s.is_uniform());  // nonsingular linear part: d = 0 only
+  EXPECT_TRUE(intlin::is_zero(s.offset));
+  EXPECT_EQ(s.pdm_lattice().rank(), 0);
+}
+
+TEST(SolvePair, Example42FlowLattice) {
+  LoopNest nest = example42(10);
+  auto acc = nest.accesses();
+  // acc[0] = write A[i1-2i2+4], acc[1] = read A[i1-2i2].
+  PairDependence s = solve_pair(acc[0].ref, acc[1].ref);
+  ASSERT_TRUE(s.exists);
+  EXPECT_FALSE(s.is_uniform());
+  // d1 - 2 d2 = 4: (4,0), (6,1), (2,-1), (0,-2) are all real distances.
+  EXPECT_TRUE(s.admits_distance(Vec{4, 0}));
+  EXPECT_TRUE(s.admits_distance(Vec{6, 1}));
+  EXPECT_TRUE(s.admits_distance(Vec{2, -1}));
+  EXPECT_TRUE(s.admits_distance(Vec{0, -2}));
+  EXPECT_FALSE(s.admits_distance(Vec{1, 0}));
+  EXPECT_FALSE(s.admits_distance(Vec{3, 0}));
+  EXPECT_EQ(s.pdm_lattice().basis(), Mat::from_rows({{2, 1}, {0, 2}}));
+}
+
+TEST(SolvePair, IndependentByParity) {
+  // A[2i] vs A[2j+1]: no integer solution.
+  ArrayRef w{"A", {AffineExpr(Vec{2}, 0)}};
+  ArrayRef r{"A", {AffineExpr(Vec{2}, 1)}};
+  PairDependence s = solve_pair(w, r);
+  EXPECT_FALSE(s.exists);
+}
+
+TEST(SolvePair, RejectsMismatchedArrays) {
+  ArrayRef a{"A", {AffineExpr(Vec{1}, 0)}};
+  ArrayRef b{"B", {AffineExpr(Vec{1}, 0)}};
+  EXPECT_THROW(solve_pair(a, b), PreconditionError);
+}
+
+// ----------------------------------------------------- brute-force check
+
+// Every pair of iterations touching a common element must have a distance
+// admitted by the solver; and sampled admitted small distances must appear
+// for *some* iteration pair inside bounds (exactness both ways).
+void cross_validate(const LoopNest& nest) {
+  auto acc = nest.accesses();
+  auto iters = nest.iterations();
+  for (std::size_t x = 0; x < acc.size(); ++x) {
+    for (std::size_t y = x; y < acc.size(); ++y) {
+      if (acc[x].ref.array != acc[y].ref.array) continue;
+      if (!acc[x].is_write && !acc[y].is_write) continue;
+      PairDependence s = solve_pair(acc[x].ref, acc[y].ref);
+      std::set<Vec> seen;
+      for (const Vec& i : iters) {
+        Vec ei = acc[x].ref.element_at(i);
+        for (const Vec& j : iters) {
+          if (acc[y].ref.element_at(j) == ei) {
+            ASSERT_TRUE(s.exists);
+            Vec d = intlin::sub(j, i);
+            EXPECT_TRUE(s.admits_distance(d))
+                << "missed distance " << intlin::to_string(d);
+            seen.insert(d);
+          }
+        }
+      }
+      if (!s.exists) {
+        EXPECT_TRUE(seen.empty());
+      }
+    }
+  }
+}
+
+TEST(SolvePairProperty, Example41BruteForce) { cross_validate(example41(4)); }
+TEST(SolvePairProperty, Example42BruteForce) { cross_validate(example42(4)); }
+TEST(SolvePairProperty, UniformBruteForce) { cross_validate(uniform_nest(5)); }
+
+TEST(SolvePairProperty, RandomReferencesBruteForce) {
+  Rng rng(20250611);
+  for (int iter = 0; iter < 40; ++iter) {
+    LoopNestBuilder b;
+    b.loop("i1", -3, 3).loop("i2", -3, 3);
+    b.array("A", {{-200, 200}});
+    AffineExpr w = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-3, 3));
+    AffineExpr r = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-3, 3));
+    b.assign(b.ref("A", {w}), Expr::add(b.read("A", {r}), Expr::constant(1)));
+    cross_validate(b.build());
+  }
+}
+
+// ------------------------------------------------------------------ PDM
+
+TEST(Pdm, Example41IsRankOneEven) {
+  Pdm pdm = compute_pdm(example41(10));
+  EXPECT_EQ(pdm.matrix(), Mat::from_rows({{2, -2}}));
+  EXPECT_EQ(pdm.rank(), 1);
+  EXPECT_FALSE(pdm.full_rank());
+  EXPECT_TRUE(pdm.zero_columns().empty());
+  EXPECT_FALSE(pdm.all_uniform());
+}
+
+TEST(Pdm, Example42IsFullRankDetFour) {
+  Pdm pdm = compute_pdm(example42(10));
+  EXPECT_EQ(pdm.matrix(), Mat::from_rows({{2, 1}, {0, 2}}));
+  EXPECT_TRUE(pdm.full_rank());
+  EXPECT_EQ(pdm.determinant(), 4);
+  EXPECT_FALSE(pdm.all_uniform());
+}
+
+TEST(Pdm, UniformLoopKeepsConstantRow) {
+  Pdm pdm = compute_pdm(uniform_nest(10));
+  EXPECT_EQ(pdm.matrix(), Mat::from_rows({{1, 2}}));
+  EXPECT_TRUE(pdm.all_uniform());
+}
+
+TEST(Pdm, IndependentLoopHasEmptyPdm) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 9).loop("i2", 0, 9);
+  b.array("A", {{0, 9}, {0, 9}});
+  b.array("B", {{0, 9}, {0, 9}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           b.read("B", {b.idx(0), b.idx(1)}));
+  Pdm pdm = compute_pdm(b.build());
+  EXPECT_TRUE(pdm.empty());
+  EXPECT_EQ(pdm.zero_columns(), (std::vector<int>{0, 1}));
+  // The write's self-output pair exists (d = 0) but contributes nothing.
+  for (const DepPair& p : pdm.pairs())
+    EXPECT_EQ(p.solution.pdm_lattice().rank(), 0);
+}
+
+TEST(Pdm, ZeroColumnDetection) {
+  // A[i1+1, i2] = A[i1, i2]: distance (1, 0); column 1 (i2) is zero => DOALL.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 9).loop("i2", 0, 9);
+  b.array("A", {{0, 10}, {0, 10}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 1), b.idx(1)}),
+           b.read("A", {b.idx(0), b.idx(1)}));
+  Pdm pdm = compute_pdm(b.build());
+  EXPECT_EQ(pdm.matrix(), Mat::from_rows({{1, 0}}));
+  EXPECT_EQ(pdm.zero_columns(), (std::vector<int>{1}));
+}
+
+TEST(Pdm, LatticeCoversEveryEmpiricalDistance) {
+  LoopNest nest = example42(4);
+  Pdm pdm = compute_pdm(nest);
+  Lattice lat = pdm.lattice();
+  auto iters = nest.iterations();
+  auto acc = nest.accesses();
+  for (std::size_t x = 0; x < acc.size(); ++x)
+    for (std::size_t y = 0; y < acc.size(); ++y) {
+      if (acc[x].ref.array != acc[y].ref.array) continue;
+      if (!acc[x].is_write && !acc[y].is_write) continue;
+      for (const Vec& i : iters)
+        for (const Vec& j : iters)
+          if (acc[x].ref.element_at(i) == acc[y].ref.element_at(j)) {
+            EXPECT_TRUE(lat.contains(intlin::sub(j, i)));
+          }
+    }
+}
+
+TEST(Pdm, MultiplePairsMergeLattices) {
+  // Two uniform dependences (2,0) and (0,2): merged PDM diag(2,2), det 4.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 9).loop("i2", 0, 9);
+  b.array("A", {{-4, 14}, {-4, 14}});
+  b.assign(b.ref("A", {b.affine({1, 0}, 2), b.idx(1)}),
+           Expr::add(b.read("A", {b.idx(0), b.affine({0, 1}, -2)}),
+                     b.read("A", {b.affine({1, 0}, 2), b.affine({0, 1}, 2)})));
+  Pdm pdm = compute_pdm(b.build());
+  EXPECT_EQ(pdm.matrix(), Mat::from_rows({{2, 0}, {0, 2}}));
+  EXPECT_EQ(pdm.determinant(), 4);
+}
+
+// --------------------------------------------------------- classic tests
+
+TEST(ClassicTests, GcdDisprovesParityDependence) {
+  ArrayRef w{"A", {AffineExpr(Vec{2, 0}, 0)}};
+  ArrayRef r{"A", {AffineExpr(Vec{2, 0}, 1)}};
+  EXPECT_FALSE(gcd_test(w, r));
+  EXPECT_FALSE(exact_equation_test(w, r));
+}
+
+TEST(ClassicTests, ExactBeatsGcdOnCoupledSubscripts) {
+  // Dimension-wise gcd passes but the coupled system is unsolvable:
+  // A[i1+i2, i1+i2] written vs A[j1+j2, j1+j2+1] read — both dims have
+  // gcd 1, yet s = s and s = s+1 cannot hold together.
+  ArrayRef w{"A", {AffineExpr(Vec{1, 1}, 0), AffineExpr(Vec{1, 1}, 0)}};
+  ArrayRef r{"A", {AffineExpr(Vec{1, 1}, 0), AffineExpr(Vec{1, 1}, 1)}};
+  EXPECT_TRUE(gcd_test(w, r));
+  EXPECT_FALSE(exact_equation_test(w, r));
+}
+
+TEST(ClassicTests, BanerjeeUsesBounds) {
+  // A[i+100] vs A[i] inside i in [0,10]: equations solvable (d = 100) but
+  // the bounds disprove it.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 10);
+  b.array("A", {{0, 200}});
+  b.assign(b.ref("A", {b.affine({1}, 100)}), b.read("A", {b.idx(0)}));
+  LoopNest nest = b.build();
+  auto acc = nest.accesses();
+  EXPECT_TRUE(gcd_test(acc[0].ref, acc[1].ref));
+  EXPECT_TRUE(exact_equation_test(acc[0].ref, acc[1].ref));
+  EXPECT_FALSE(banerjee_test(nest, acc[0].ref, acc[1].ref));
+}
+
+TEST(ClassicTests, AllAgreeOnRealDependence) {
+  LoopNest nest = example41(10);
+  auto acc = nest.accesses();
+  TestVerdicts v = run_all_tests(nest, acc[0].ref, acc[1].ref);
+  EXPECT_TRUE(v.gcd);
+  EXPECT_TRUE(v.banerjee);
+  EXPECT_TRUE(v.exact);
+}
+
+TEST(ClassicTestsProperty, GcdNeverMorePreciseThanExact) {
+  Rng rng(5150);
+  for (int iter = 0; iter < 200; ++iter) {
+    ArrayRef w{"A",
+               {AffineExpr(Vec{rng.uniform(-3, 3), rng.uniform(-3, 3)},
+                           rng.uniform(-5, 5))}};
+    ArrayRef r{"A",
+               {AffineExpr(Vec{rng.uniform(-3, 3), rng.uniform(-3, 3)},
+                           rng.uniform(-5, 5))}};
+    // exact => gcd (gcd is a necessary condition).
+    if (exact_equation_test(w, r)) {
+      EXPECT_TRUE(gcd_test(w, r));
+    }
+  }
+}
+
+TEST(ClassicTestsProperty, TestsAreSoundOnBruteForcedPairs) {
+  // If any test reports independence, no conflicting pair may exist.
+  Rng rng(6021023);
+  for (int iter = 0; iter < 60; ++iter) {
+    LoopNestBuilder b;
+    b.loop("i1", -2, 2).loop("i2", -2, 2);
+    b.array("A", {{-100, 100}});
+    AffineExpr w = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-4, 4));
+    AffineExpr r = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-4, 4));
+    b.assign(b.ref("A", {w}), b.read("A", {r}));
+    LoopNest nest = b.build();
+    auto acc = nest.accesses();
+    TestVerdicts v = run_all_tests(nest, acc[0].ref, acc[1].ref);
+    bool conflict = false;
+    for (const Vec& i : nest.iterations())
+      for (const Vec& j : nest.iterations())
+        if (acc[0].ref.element_at(i) == acc[1].ref.element_at(j)) conflict = true;
+    if (conflict) {
+      EXPECT_TRUE(v.gcd);
+      EXPECT_TRUE(v.banerjee);
+      EXPECT_TRUE(v.exact);
+    }
+  }
+}
+
+// ----------------------------------------------------- direction vectors
+
+TEST(Direction, UniformPairHasSingleVector) {
+  LoopNest nest = uniform_nest(10);
+  auto acc = nest.accesses();
+  auto dvs = direction_vectors(nest, acc[0].ref, acc[1].ref);
+  ASSERT_EQ(dvs.size(), 1u);
+  EXPECT_EQ(to_string(dvs[0]), "(<,<)");
+}
+
+TEST(Direction, Example42HasMultipleDirections) {
+  LoopNest nest = example42(10);
+  auto acc = nest.accesses();
+  auto dvs = direction_vectors(nest, acc[0].ref, acc[1].ref);
+  // d1 - 2 d2 = 4 admits (4,0):(<,=), (6,1):(<,<), (2,-1):(<,>),
+  // (0,-2):(=,>), (-2,-3):(>,>), (-4,-4)... => at least 5 patterns.
+  std::set<std::string> found;
+  for (const auto& dv : dvs) found.insert(to_string(dv));
+  EXPECT_TRUE(found.count("(<,=)"));
+  EXPECT_TRUE(found.count("(<,<)"));
+  EXPECT_TRUE(found.count("(<,>)"));
+  EXPECT_TRUE(found.count("(=,>)"));
+  EXPECT_TRUE(found.count("(>,>)"));
+}
+
+TEST(Direction, NestVectorsAreOrientedPositive) {
+  LoopNest nest = example42(10);
+  auto dvs = nest_direction_vectors(nest);
+  EXPECT_FALSE(dvs.empty());
+  for (const auto& dv : dvs) {
+    // After orientation the first non-"=" must be "<".
+    for (Dir d : dv) {
+      if (d == Dir::kEq) continue;
+      EXPECT_EQ(d, Dir::kLt) << to_string(dv);
+      break;
+    }
+  }
+}
+
+TEST(Direction, BoundsPruneDirections) {
+  // A[i1+8] vs A[i1] in [0,10]: only "<" remains; in [0,5] none remain.
+  LoopNestBuilder b1;
+  b1.loop("i1", 0, 10);
+  b1.array("A", {{0, 30}});
+  b1.assign(b1.ref("A", {b1.affine({1}, 8)}), b1.read("A", {b1.idx(0)}));
+  LoopNest n1 = b1.build();
+  auto acc1 = n1.accesses();
+  auto dvs1 = direction_vectors(n1, acc1[0].ref, acc1[1].ref);
+  ASSERT_EQ(dvs1.size(), 1u);
+  EXPECT_EQ(to_string(dvs1[0]), "(<)");
+
+  LoopNestBuilder b2;
+  b2.loop("i1", 0, 5);
+  b2.array("A", {{0, 30}});
+  b2.assign(b2.ref("A", {b2.affine({1}, 8)}), b2.read("A", {b2.idx(0)}));
+  LoopNest n2 = b2.build();
+  auto acc2 = n2.accesses();
+  EXPECT_TRUE(direction_vectors(n2, acc2[0].ref, acc2[1].ref).empty());
+}
+
+TEST(DirectionProperty, VectorsCoverBruteForcedSigns) {
+  Rng rng(424242);
+  for (int iter = 0; iter < 30; ++iter) {
+    LoopNestBuilder b;
+    b.loop("i1", -2, 2).loop("i2", -2, 2);
+    b.array("A", {{-60, 60}});
+    AffineExpr w = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-3, 3));
+    AffineExpr r = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                            rng.uniform(-3, 3));
+    b.assign(b.ref("A", {w}), b.read("A", {r}));
+    LoopNest nest = b.build();
+    auto acc = nest.accesses();
+    auto dvs = direction_vectors(nest, acc[0].ref, acc[1].ref);
+    std::set<std::string> have;
+    for (const auto& dv : dvs) have.insert(to_string(dv));
+    for (const Vec& i : nest.iterations())
+      for (const Vec& j : nest.iterations()) {
+        if (acc[0].ref.element_at(i) != acc[1].ref.element_at(j)) continue;
+        DirectionVector dv;
+        for (int k = 0; k < 2; ++k) {
+          i64 d = j[static_cast<std::size_t>(k)] - i[static_cast<std::size_t>(k)];
+          dv.push_back(d > 0 ? Dir::kLt : d < 0 ? Dir::kGt : Dir::kEq);
+        }
+        EXPECT_TRUE(have.count(to_string(dv)))
+            << "missing direction " << to_string(dv);
+      }
+  }
+}
+
+}  // namespace
+}  // namespace vdep::dep

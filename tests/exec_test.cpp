@@ -1,0 +1,452 @@
+// Tests for the execution substrate: interpreter, parallel runner, schedule
+// verifier and the ISDG builder — end-to-end semantics preservation of the
+// paper's transformations.
+#include <gtest/gtest.h>
+
+#include "codegen/rewrite.h"
+#include "dep/pdm.h"
+#include "exec/compiled.h"
+#include "exec/isdg.h"
+#include "exec/verify.h"
+#include "loopir/builder.h"
+#include "support/rng.h"
+#include "trans/planner.h"
+
+namespace vdep::exec {
+namespace {
+
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+LoopNest example41(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 5 * n + 10;
+  b.array("A", {{-ext, ext}, {-ext, ext}});
+  b.assign(b.ref("A", {b.affine({3, -2}, 2), b.affine({-2, 3}, -2)}),
+           Expr::add(Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                               b.read("A", {b.affine({1, 0}, 2),
+                                            b.affine({0, 1}, -2)})),
+                     Expr::constant(1)));
+  return b.build();
+}
+
+LoopNest example42(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  i64 ext = 3 * n + 10;
+  b.array("A", {{-ext, ext}});
+  b.array("B", {{-n, n}, {-n, n}});
+  b.assign(b.ref("A", {b.affine({1, -2}, 4)}),
+           Expr::add(b.read("A", {b.affine({1, -2}, 0)}), Expr::constant(1)));
+  b.assign(b.ref("B", {b.idx(0), b.idx(1)}),
+           b.read("A", {b.affine({1, -2}, 8)}));
+  return b.build();
+}
+
+trans::TransformPlan plan_for(const LoopNest& nest) {
+  return trans::plan_transform(dep::compute_pdm(nest));
+}
+
+// ----------------------------------------------------------- ArrayStore
+
+TEST(ArrayStore, ReadWriteRoundTrip) {
+  LoopNest nest = example42(3);
+  ArrayStore s(nest);
+  s.write("A", Vec{-5}, 42);
+  EXPECT_EQ(s.read("A", Vec{-5}), 42);
+  EXPECT_EQ(s.read("A", Vec{0}), 0);
+  EXPECT_THROW(s.read("A", Vec{1000}), PreconditionError);
+  EXPECT_THROW(s.read("Ghost", Vec{0}), PreconditionError);
+}
+
+TEST(ArrayStore, FillPatternDeterministic) {
+  LoopNest nest = example42(3);
+  ArrayStore a(nest), b(nest);
+  a.fill_pattern();
+  b.fill_pattern();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.checksum(), b.checksum());
+  ArrayStore c(nest);
+  EXPECT_NE(a, c);
+}
+
+// ---------------------------------------------------------- interpreter
+
+TEST(Interpreter, MatchesHandComputedKernel) {
+  // A[i+1] = A[i] + 1 over i in [0, 4]: propagates A[0] forward.
+  LoopNestBuilder b;
+  b.loop("i", 0, 4);
+  b.array("A", {{0, 5}});
+  b.assign(b.ref("A", {b.affine({1}, 1)}),
+           Expr::add(b.read("A", {b.idx(0)}), Expr::constant(1)));
+  LoopNest nest = b.build();
+  ArrayStore s(nest);
+  s.write("A", Vec{0}, 7);
+  run_sequential(nest, s);
+  for (i64 k = 0; k <= 5; ++k) EXPECT_EQ(s.read("A", Vec{k}), 7 + k);
+}
+
+TEST(Interpreter, EvaluatesIndexAndMulNodes) {
+  LoopNestBuilder b;
+  b.loop("i", 1, 3);
+  b.array("A", {{0, 3}});
+  // A[i] = i * (i + 2)
+  b.assign(b.ref("A", {b.idx(0)}),
+           Expr::mul(Expr::index(0), Expr::add(Expr::index(0), Expr::constant(2))));
+  LoopNest nest = b.build();
+  ArrayStore s(nest);
+  run_sequential(nest, s);
+  EXPECT_EQ(s.read("A", Vec{1}), 3);
+  EXPECT_EQ(s.read("A", Vec{2}), 8);
+  EXPECT_EQ(s.read("A", Vec{3}), 15);
+}
+
+// --------------------------------------------------------------- runner
+
+TEST(Runner, ScheduleCoversIterationSpaceExactly) {
+  LoopNest nest = example41(5);
+  Schedule sched = build_schedule(nest, plan_for(nest));
+  EXPECT_EQ(sched.total_iterations(), nest.iteration_count());
+  VerifyResult v = verify_schedule(nest, sched);
+  EXPECT_TRUE(v.ok) << (v.violations.empty() ? "" : v.violations[0].reason);
+}
+
+TEST(Runner, Example41ParallelismShape) {
+  // 1 DOALL loop (width 4N+1) x 2 partition classes; empty combos dropped.
+  LoopNest nest = example41(5);
+  Schedule sched = build_schedule(nest, plan_for(nest));
+  EXPECT_GE(sched.parallelism(), 2 * (4 * 5 + 1) - 2);
+  EXPECT_LE(sched.max_item_size(), 2 * 5 + 1);
+}
+
+TEST(Runner, Example42FourClassItems) {
+  LoopNest nest = example42(5);
+  Schedule sched = build_schedule(nest, plan_for(nest));
+  EXPECT_EQ(sched.parallelism(), 4);  // det(H) = 4 independent classes
+  EXPECT_EQ(sched.total_iterations(), nest.iteration_count());
+}
+
+TEST(Runner, ParallelExecutionMatchesSequential41) {
+  LoopNest nest = example41(6);
+  ThreadPool pool(4);
+  ArrayStore ref(nest);
+  ref.fill_pattern();
+  ArrayStore par = ref;
+  run_sequential(nest, ref);
+  RunStats stats = run_parallel(nest, plan_for(nest), par, pool);
+  EXPECT_EQ(ref, par);
+  EXPECT_EQ(stats.iterations, nest.iteration_count());
+}
+
+TEST(Runner, ParallelExecutionMatchesSequential42) {
+  LoopNest nest = example42(6);
+  ThreadPool pool(4);
+  ArrayStore ref(nest);
+  ref.fill_pattern();
+  ArrayStore par = ref;
+  run_sequential(nest, ref);
+  RunStats stats = run_parallel(nest, plan_for(nest), par, pool);
+  EXPECT_EQ(ref, par);
+  EXPECT_EQ(stats.work_items, 4);
+}
+
+TEST(Runner, ScheduledSerialAlsoMatches) {
+  LoopNest nest = example41(4);
+  ArrayStore ref(nest);
+  ref.fill_pattern();
+  ArrayStore got = ref;
+  run_sequential(nest, ref);
+  run_scheduled_serial(nest, plan_for(nest), got);
+  EXPECT_EQ(ref, got);
+}
+
+TEST(RunnerProperty, RandomLoopsPreserveSemantics) {
+  Rng rng(987654321);
+  ThreadPool pool(3);
+  int planned_parallel = 0;
+  for (int iter = 0; iter < 25; ++iter) {
+    LoopNestBuilder b;
+    b.loop("i1", -3, 3).loop("i2", -3, 3);
+    b.array("A", {{-80, 80}});
+    loopir::AffineExpr w = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                                    rng.uniform(-3, 3));
+    loopir::AffineExpr r = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                                    rng.uniform(-3, 3));
+    b.assign(b.ref("A", {w}), Expr::add(b.read("A", {r}), Expr::constant(1)));
+    LoopNest nest = b.build();
+    trans::TransformPlan plan = plan_for(nest);
+    if (plan.num_doall > 0 || plan.partition_classes > 1) ++planned_parallel;
+
+    ArrayStore ref(nest);
+    ref.fill_pattern();
+    ArrayStore par = ref;
+    run_sequential(nest, ref);
+    run_parallel(nest, plan, par, pool);
+    EXPECT_EQ(ref, par) << nest.to_string() << plan.to_string();
+
+    Schedule sched = build_schedule(nest, plan);
+    VerifyResult v = verify_schedule(nest, sched);
+    EXPECT_TRUE(v.ok) << nest.to_string()
+                      << (v.violations.empty() ? "" : v.violations[0].reason);
+  }
+  EXPECT_GE(planned_parallel, 2);  // the space should contain parallel wins
+}
+
+// --------------------------------------------------------------- verify
+
+TEST(Verify, DetectsIllegalInterchange) {
+  // A[i1][i2] = A[i1-1][i2+1] has direction (<,>): interchanging the loops
+  // reverses dependences. Build the (illegal) plan by hand.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 5).loop("i2", 0, 5);
+  b.array("A", {{-2, 8}, {-2, 8}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           b.read("A", {b.affine({1, 0}, -1), b.affine({0, 1}, 1)}));
+  LoopNest nest = b.build();
+
+  trans::TransformPlan bad;
+  bad.depth = 2;
+  bad.t = trans::interchange(2, 0, 1);
+  bad.transformed_pdm = intlin::Mat(0, 2);
+  bad.num_doall = 0;
+  Schedule sched = build_schedule(nest, bad);
+  VerifyResult v = verify_schedule(nest, sched);
+  EXPECT_FALSE(v.ok);
+  ASSERT_FALSE(v.violations.empty());
+  EXPECT_NE(v.violations[0].reason.find("reordered"), std::string::npos);
+}
+
+TEST(Verify, DetectsCrossItemConflicts) {
+  // Declaring the dependent loop DOALL splits dependent iterations across
+  // items.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 5);
+  b.array("A", {{-1, 7}});
+  b.assign(b.ref("A", {b.affine({1}, 1)}), b.read("A", {b.idx(0)}));
+  LoopNest nest = b.build();
+  trans::TransformPlan bad;
+  bad.depth = 1;
+  bad.t = intlin::Mat::identity(1);
+  bad.transformed_pdm = intlin::Mat(0, 1);
+  bad.num_doall = 1;  // wrong: the loop carries a dependence
+  Schedule sched = build_schedule(nest, bad);
+  VerifyResult v = verify_schedule(nest, sched);
+  EXPECT_FALSE(v.ok);
+  ASSERT_FALSE(v.violations.empty());
+  EXPECT_NE(v.violations[0].reason.find("different work items"),
+            std::string::npos);
+}
+
+TEST(Verify, DetectsMissingIteration) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 3);
+  b.array("A", {{0, 3}});
+  b.assign(b.ref("A", {b.idx(0)}), Expr::constant(1));
+  LoopNest nest = b.build();
+  Schedule sched;
+  sched.items.push_back({Vec{0}, Vec{1}, Vec{2}});  // missing {3}
+  VerifyResult v = verify_schedule(nest, sched);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Verify, DetectsDuplicateIteration) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 1);
+  b.array("A", {{0, 1}});
+  b.assign(b.ref("A", {b.idx(0)}), Expr::constant(1));
+  LoopNest nest = b.build();
+  Schedule sched;
+  sched.items.push_back({Vec{0}, Vec{1}, Vec{1}});
+  VerifyResult v = verify_schedule(nest, sched);
+  EXPECT_FALSE(v.ok);
+}
+
+// ----------------------------------------------------------- compiled
+
+TEST(Compiled, MatchesInterpreterOnExample41) {
+  LoopNest nest = example41(5);
+  ArrayStore a(nest), b(nest);
+  a.fill_pattern();
+  b.fill_pattern();
+  run_sequential(nest, a);
+  CompiledKernel kernel(nest, b);
+  kernel.run_sequential();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Compiled, MatchesInterpreterOnExample42) {
+  LoopNest nest = example42(5);
+  ArrayStore a(nest), b(nest);
+  a.fill_pattern();
+  b.fill_pattern();
+  run_sequential(nest, a);
+  CompiledKernel(nest, b).run_sequential();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Compiled, EvaluatesIndexVariablesAndProducts) {
+  LoopNestBuilder b;
+  b.loop("i", 1, 5);
+  b.array("A", {{0, 5}});
+  b.assign(b.ref("A", {b.idx(0)}),
+           Expr::mul(Expr::index(0), Expr::add(Expr::index(0), Expr::constant(2))));
+  LoopNest nest = b.build();
+  ArrayStore s(nest);
+  CompiledKernel(nest, s).run_sequential();
+  EXPECT_EQ(s.read("A", Vec{4}), 24);
+}
+
+TEST(Compiled, RejectsOutOfRangeSubscript) {
+  LoopNestBuilder b;
+  b.loop("i", 0, 10);
+  b.array("A", {{0, 5}});  // too small for A[i]
+  b.assign(b.ref("A", {b.idx(0)}), Expr::constant(1));
+  LoopNest nest = b.build();
+  ArrayStore s(nest);
+  EXPECT_THROW(CompiledKernel(nest, s), PreconditionError);
+}
+
+TEST(Compiled, ScheduleExecutionMatchesSequential) {
+  LoopNest nest = example41(6);
+  trans::TransformPlan plan = plan_for(nest);
+  Schedule sched = build_schedule(nest, plan);
+  ThreadPool pool(4);
+  ArrayStore ref(nest), par(nest);
+  ref.fill_pattern();
+  par.fill_pattern();
+  run_sequential(nest, ref);
+  execute_schedule_compiled(nest, sched, par, pool);
+  EXPECT_EQ(ref, par);
+}
+
+TEST(CompiledProperty, RandomBodiesAgreeWithInterpreter) {
+  Rng rng(321);
+  for (int iter = 0; iter < 20; ++iter) {
+    LoopNestBuilder b;
+    b.loop("i1", -3, 3).loop("i2", -3, 3);
+    b.array("A", {{-40, 40}});
+    b.array("B", {{-40, 40}});
+    loopir::AffineExpr w = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                                    rng.uniform(-3, 3));
+    loopir::AffineExpr r1 = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                                     rng.uniform(-3, 3));
+    loopir::AffineExpr r2 = b.affine({rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                                     rng.uniform(-3, 3));
+    b.assign(b.ref("A", {w}),
+             Expr::add(Expr::mul(b.read("A", {r1}), Expr::constant(3)),
+                       Expr::sub(b.read("B", {r2}), Expr::index(1))));
+    LoopNest nest = b.build();
+    ArrayStore x(nest), y(nest);
+    x.fill_pattern();
+    y.fill_pattern();
+    run_sequential(nest, x);
+    CompiledKernel(nest, y).run_sequential();
+    EXPECT_EQ(x, y);
+  }
+}
+
+// ----------------------------------------------------------------- ISDG
+
+TEST(Isdg, Example41DistancesInsidePdmLattice) {
+  LoopNest nest = example41(5);
+  Isdg g = build_isdg(nest);
+  EXPECT_GT(g.edge_count(), 0);
+  intlin::Lattice lat = dep::compute_pdm(nest).lattice();
+  for (const Vec& d : g.distance_vectors())
+    EXPECT_TRUE(lat.contains(d)) << intlin::to_string(d);
+}
+
+TEST(Isdg, Example42StridesAtLeastTwo) {
+  // Figure 4's observation: every arrow jumps a stride >= 2 along i1
+  // and/or i2 (no unit-distance arrows).
+  LoopNest nest = example42(6);
+  Isdg g = build_isdg(nest);
+  EXPECT_GT(g.edge_count(), 0);
+  for (const Vec& d : g.distance_vectors()) {
+    i64 a0 = checked::abs(d[0]);
+    i64 a1 = checked::abs(d[1]);
+    EXPECT_TRUE(a0 >= 2 || a1 >= 2) << intlin::to_string(d);
+  }
+}
+
+TEST(Isdg, NoFalseEdgesOnIndependentLoop) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 5).loop("i2", 0, 5);
+  b.array("A", {{0, 5}, {0, 5}});
+  b.array("B", {{0, 5}, {0, 5}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}), b.read("B", {b.idx(0), b.idx(1)}));
+  Isdg g = build_isdg(b.build());
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.dependent_node_count(), 0);
+  EXPECT_EQ(g.critical_path_length(), 0);
+  EXPECT_EQ(g.chain_count(), 0);
+}
+
+TEST(Isdg, ChainStructureOfSequentialLoop) {
+  // A[i+1] = A[i]: one chain through all iterations, critical path n-1.
+  LoopNestBuilder b;
+  b.loop("i1", 0, 9);
+  b.array("A", {{0, 10}});
+  b.assign(b.ref("A", {b.affine({1}, 1)}), b.read("A", {b.idx(0)}));
+  Isdg g = build_isdg(b.build());
+  EXPECT_EQ(g.chain_count(), 1);
+  EXPECT_EQ(g.critical_path_length(), 9);
+  EXPECT_EQ(g.dependent_node_count(), 10);
+}
+
+TEST(Isdg, PartitionedScheduleHasNoCrossItemEdges) {
+  for (i64 n : {4, 6}) {
+    LoopNest nest = example42(n);
+    Isdg g = build_isdg(nest);
+    Schedule sched = build_schedule(nest, plan_for(nest));
+    EXPECT_EQ(g.cross_item_edges(sched), 0) << "N=" << n;
+  }
+  LoopNest nest41 = example41(5);
+  Isdg g41 = build_isdg(nest41);
+  Schedule sched41 = build_schedule(nest41, plan_for(nest41));
+  EXPECT_EQ(g41.cross_item_edges(sched41), 0);
+}
+
+TEST(Isdg, AsciiRenderingShowsClasses) {
+  LoopNest nest = example42(3);
+  Isdg g = build_isdg(nest);
+  std::string plain = g.to_ascii();
+  // 7x7 grid rows; dependent nodes marked.
+  EXPECT_EQ(std::count(plain.begin(), plain.end(), '\n'), 7);
+  EXPECT_NE(plain.find('o'), std::string::npos);
+  Schedule sched = build_schedule(nest, plan_for(nest));
+  std::string classed = g.to_ascii(&sched);
+  EXPECT_NE(classed.find('0'), std::string::npos);
+  EXPECT_NE(classed.find('3'), std::string::npos);
+  EXPECT_EQ(classed.find('o'), std::string::npos);  // all nodes scheduled
+}
+
+TEST(Isdg, AsciiRejectsNon2D) {
+  LoopNestBuilder b;
+  b.loop("i", 0, 3);
+  b.array("A", {{0, 3}});
+  b.assign(b.ref("A", {b.idx(0)}), Expr::constant(1));
+  Isdg g = build_isdg(b.build());
+  EXPECT_THROW(g.to_ascii(), PreconditionError);
+}
+
+TEST(Isdg, DotOutputWellFormed) {
+  LoopNest nest = example42(3);
+  std::string dot = build_isdg(nest).to_dot();
+  EXPECT_NE(dot.find("digraph isdg"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find("n_3_0 -> n_3_0"), std::string::npos);  // no self loops
+}
+
+TEST(Isdg, MinAbsStrideExample42) {
+  LoopNest nest = example42(6);
+  Vec s = build_isdg(nest).min_abs_stride();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_GE(s[0], 2);  // no arrow moves by 1 in i1
+  EXPECT_GE(s[1], 1);
+}
+
+}  // namespace
+}  // namespace vdep::exec

@@ -1,0 +1,530 @@
+// Unit and property tests for the integer linear algebra substrate:
+// vectors, matrices, echelon reduction, HNF, Smith form, determinants,
+// lattices and the row Diophantine solver.
+#include <gtest/gtest.h>
+
+#include "intlin/det.h"
+#include "intlin/diophantine.h"
+#include "intlin/echelon.h"
+#include "intlin/hermite.h"
+#include "intlin/lattice.h"
+#include "intlin/mat.h"
+#include "intlin/smith.h"
+#include "intlin/vec.h"
+#include "support/rng.h"
+
+namespace vdep::intlin {
+namespace {
+
+Mat random_matrix(Rng& rng, int rows, int cols, i64 lo, i64 hi) {
+  Mat m(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) m.at(r, c) = rng.uniform(lo, hi);
+  return m;
+}
+
+// ---------------------------------------------------------------- vectors
+
+TEST(Vec, AddSubScale) {
+  Vec a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(add(a, b), (Vec{5, -3, 9}));
+  EXPECT_EQ(sub(a, b), (Vec{-3, 7, -3}));
+  EXPECT_EQ(scale(a, -2), (Vec{-2, -4, -6}));
+  EXPECT_EQ(negate(b), (Vec{-4, 5, -6}));
+}
+
+TEST(Vec, DotProduct) {
+  EXPECT_EQ(dot(Vec{1, 2, 3}, Vec{4, 5, 6}), 32);
+  EXPECT_EQ(dot(Vec{}, Vec{}), 0);
+}
+
+TEST(Vec, LevelAndLeading) {
+  EXPECT_EQ(level(Vec{0, 0, 7, 1}), 2);
+  EXPECT_EQ(level(Vec{5}), 0);
+  EXPECT_EQ(level(Vec{0, 0}), -1);
+  EXPECT_EQ(level(Vec{}), -1);
+}
+
+TEST(Vec, LexPredicates) {
+  EXPECT_TRUE(lex_positive(Vec{0, 3, -9}));
+  EXPECT_FALSE(lex_positive(Vec{0, -3, 9}));
+  EXPECT_FALSE(lex_positive(Vec{0, 0}));
+  EXPECT_TRUE(lex_negative(Vec{-1, 100}));
+  EXPECT_TRUE(lex_less(Vec{1, 2}, Vec{1, 3}));
+  EXPECT_FALSE(lex_less(Vec{1, 3}, Vec{1, 3}));
+  EXPECT_TRUE(lex_less(Vec{0, 9}, Vec{1, 0}));
+}
+
+TEST(Vec, Content) {
+  EXPECT_EQ(content(Vec{6, -9, 12}), 3);
+  EXPECT_EQ(content(Vec{0, 0}), 0);
+  EXPECT_EQ(content(Vec{0, 5}), 5);
+}
+
+// ---------------------------------------------------------------- matrices
+
+TEST(Mat, ConstructionAndAccess) {
+  Mat m = Mat::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(1, 2), 6);
+  EXPECT_EQ(m.row(0), (Vec{1, 2, 3}));
+  EXPECT_EQ(m.col(1), (Vec{2, 5}));
+  EXPECT_THROW(m.at(2, 0), PreconditionError);
+}
+
+TEST(Mat, IdentityAndZero) {
+  EXPECT_EQ(Mat::identity(2), Mat::from_rows({{1, 0}, {0, 1}}));
+  EXPECT_TRUE(Mat::zero(2, 3).is_zero());
+}
+
+TEST(Mat, Product) {
+  Mat a = Mat::from_rows({{1, 2}, {3, 4}});
+  Mat b = Mat::from_rows({{0, 1}, {1, 0}});
+  EXPECT_EQ(a * b, Mat::from_rows({{2, 1}, {4, 3}}));
+  EXPECT_EQ(a * Mat::identity(2), a);
+}
+
+TEST(Mat, VecMatMulRowConvention) {
+  // x' = x * T with T = [[1,1],[1,0]] maps (i1,i2) -> (i1+i2, i1).
+  Mat t = Mat::from_rows({{1, 1}, {1, 0}});
+  EXPECT_EQ(vec_mat_mul(Vec{3, 4}, t), (Vec{7, 3}));
+}
+
+TEST(Mat, MatVecMul) {
+  Mat f = Mat::from_rows({{3, -2}, {-2, 3}});
+  EXPECT_EQ(mat_vec_mul(f, Vec{1, 2}), (Vec{-1, 4}));
+}
+
+TEST(Mat, SlicesAndStack) {
+  Mat m = Mat::from_rows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(m.row_slice(1, 3), Mat::from_rows({{4, 5, 6}, {7, 8, 9}}));
+  EXPECT_EQ(m.col_slice(0, 2), Mat::from_rows({{1, 2}, {4, 5}, {7, 8}}));
+  EXPECT_EQ(Mat::vstack(m.row_slice(0, 1), m.row_slice(2, 3)),
+            Mat::from_rows({{1, 2, 3}, {7, 8, 9}}));
+}
+
+TEST(Mat, ElementaryOps) {
+  Mat m = Mat::from_rows({{1, 2}, {3, 4}});
+  m.swap_rows(0, 1);
+  EXPECT_EQ(m, Mat::from_rows({{3, 4}, {1, 2}}));
+  m.add_row_multiple(0, 1, -3);
+  EXPECT_EQ(m, Mat::from_rows({{0, -2}, {1, 2}}));
+  m.swap_cols(0, 1);
+  EXPECT_EQ(m, Mat::from_rows({{-2, 0}, {2, 1}}));
+  m.negate_col(0);
+  EXPECT_EQ(m, Mat::from_rows({{2, 0}, {-2, 1}}));
+  m.add_col_multiple(1, 0, 2);
+  EXPECT_EQ(m, Mat::from_rows({{2, 4}, {-2, -3}}));
+}
+
+TEST(Mat, PushRowAdoptsWidth) {
+  Mat m;
+  m.push_row(Vec{1, 2, 3});
+  m.push_row(Vec{4, 5, 6});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_THROW(m.push_row(Vec{1}), PreconditionError);
+}
+
+// ---------------------------------------------------------------- echelon
+
+TEST(Echelon, PaperShapeInvariants) {
+  Mat m = Mat::from_rows({{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}});
+  Echelon e = echelon_reduce(m);
+  EXPECT_TRUE(is_echelon(e.E));
+  EXPECT_TRUE(is_echelon_lex_positive(e.E));
+  EXPECT_TRUE(is_unimodular(e.U));
+  EXPECT_EQ(e.U * m, e.E);
+}
+
+TEST(Echelon, DetectsRank) {
+  Mat m = Mat::from_rows({{1, 2}, {2, 4}, {3, 6}});
+  Echelon e = echelon_reduce(m);
+  EXPECT_EQ(e.rank, 1);
+  EXPECT_EQ(e.levels, (std::vector<int>{0}));
+}
+
+TEST(Echelon, ZeroMatrix) {
+  Echelon e = echelon_reduce(Mat::zero(3, 2));
+  EXPECT_EQ(e.rank, 0);
+  EXPECT_TRUE(e.E.is_zero());
+  EXPECT_TRUE(is_unimodular(e.U));
+}
+
+TEST(Echelon, IsEchelonPredicate) {
+  EXPECT_TRUE(is_echelon(Mat::from_rows({{1, 2, 3}, {0, 0, 4}, {0, 0, 0}})));
+  EXPECT_FALSE(is_echelon(Mat::from_rows({{0, 1}, {1, 0}})));
+  EXPECT_FALSE(is_echelon(Mat::from_rows({{0, 0}, {0, 1}})));  // zero row first
+  EXPECT_TRUE(is_echelon(Mat::zero(2, 2)));
+  EXPECT_FALSE(is_echelon_lex_positive(Mat::from_rows({{1, 2}, {0, -1}})));
+}
+
+TEST(EchelonProperty, RandomMatricesReduceCorrectly) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    int rows = static_cast<int>(rng.uniform(1, 5));
+    int cols = static_cast<int>(rng.uniform(1, 5));
+    Mat m = random_matrix(rng, rows, cols, -9, 9);
+    Echelon e = echelon_reduce(m);
+    EXPECT_TRUE(is_echelon(e.E));
+    EXPECT_TRUE(is_unimodular(e.U)) << m.to_string();
+    EXPECT_EQ(e.U * m, e.E) << m.to_string();
+    EXPECT_EQ(static_cast<int>(e.levels.size()), e.rank);
+    for (std::size_t i = 1; i < e.levels.size(); ++i)
+      EXPECT_LT(e.levels[i - 1], e.levels[i]);
+  }
+}
+
+// ---------------------------------------------------------------- hermite
+
+TEST(Hermite, CanonicalFormOfKnownLattice) {
+  // Rows (1,-1) and (2,0): the canonical HNF reduces the above-pivot entry
+  // -1 into [0,2), giving [[1,1],[0,2]] — the same lattice.
+  Mat m = Mat::from_rows({{1, -1}, {2, 0}});
+  Mat h = hermite_normal_form(m);
+  EXPECT_EQ(h, Mat::from_rows({{1, 1}, {0, 2}}));
+  Lattice l = Lattice::from_generators(m);
+  EXPECT_TRUE(l.contains(Vec{1, -1}));
+  EXPECT_TRUE(l.contains(Vec{2, 0}));
+  EXPECT_EQ(Lattice::from_generators(h), l);
+}
+
+TEST(Hermite, PaperExample42Lattice) {
+  // Generators (2,1) and (4,0): HNF = [[2,1],[0,2]], det 4 (paper 4.2).
+  Mat m = Mat::from_rows({{2, 1}, {4, 0}});
+  EXPECT_EQ(hermite_normal_form(m), Mat::from_rows({{2, 1}, {0, 2}}));
+}
+
+TEST(Hermite, RankOneEvenLattice) {
+  // Generators (2,-2) and (4,-4): rank-1 HNF [2,-2] (paper 4.1 shape).
+  Mat m = Mat::from_rows({{2, -2}, {4, -4}, {-6, 6}});
+  EXPECT_EQ(hermite_normal_form(m), Mat::from_rows({{2, -2}}));
+}
+
+TEST(Hermite, TransformReconstructsInput) {
+  Mat m = Mat::from_rows({{3, 1, 4}, {1, 5, 9}, {2, 6, 5}});
+  HermiteResult h = hermite_with_transform(m);
+  Mat expected = Mat::vstack(h.H, Mat::zero(m.rows() - h.rank, m.cols()));
+  EXPECT_EQ(h.U * m, expected);
+  EXPECT_TRUE(is_unimodular(h.U));
+  EXPECT_TRUE(is_hermite_normal_form(h.H));
+}
+
+TEST(Hermite, IsHnfPredicate) {
+  EXPECT_TRUE(is_hermite_normal_form(Mat::from_rows({{2, 1}, {0, 2}})));
+  EXPECT_FALSE(is_hermite_normal_form(Mat::from_rows({{2, 3}, {0, 2}})));  // 3 >= 2
+  EXPECT_FALSE(is_hermite_normal_form(Mat::from_rows({{-1, 0}, {0, 1}})));
+  EXPECT_TRUE(is_hermite_normal_form(Mat::from_rows({{1, 0}, {0, 1}})));
+}
+
+TEST(HermiteProperty, IdempotentAndLatticePreserving) {
+  Rng rng(777);
+  for (int iter = 0; iter < 200; ++iter) {
+    int rows = static_cast<int>(rng.uniform(1, 4));
+    int cols = static_cast<int>(rng.uniform(1, 4));
+    Mat m = random_matrix(rng, rows, cols, -6, 6);
+    Mat h = hermite_normal_form(m);
+    EXPECT_TRUE(is_hermite_normal_form(h) || h.rows() == 0) << m.to_string();
+    EXPECT_EQ(hermite_normal_form(h), h) << m.to_string();
+    // Same lattice in both directions.
+    Lattice lm = Lattice::from_generators(m);
+    Lattice lh = Lattice::from_generators(h);
+    EXPECT_EQ(lm, lh);
+    for (int r = 0; r < m.rows(); ++r) EXPECT_TRUE(lh.contains(m.row(r)));
+    for (int r = 0; r < h.rows(); ++r) EXPECT_TRUE(lm.contains(h.row(r)));
+  }
+}
+
+TEST(HermiteProperty, UnimodularColumnScrambleKeepsLatticeCanonical) {
+  // HNF is a lattice invariant: scrambling generators by unimodular row
+  // mixes must not change it.
+  Rng rng(4242);
+  for (int iter = 0; iter < 100; ++iter) {
+    Mat m = random_matrix(rng, 3, 3, -5, 5);
+    Mat scrambled = m;
+    for (int k = 0; k < 6; ++k) {
+      int a = static_cast<int>(rng.uniform(0, 2));
+      int b = static_cast<int>(rng.uniform(0, 2));
+      if (a != b) scrambled.add_row_multiple(a, b, rng.uniform(-3, 3));
+    }
+    EXPECT_EQ(hermite_normal_form(m), hermite_normal_form(scrambled));
+  }
+}
+
+// ---------------------------------------------------------------- det
+
+TEST(Det, SmallCases) {
+  EXPECT_EQ(determinant(Mat::identity(3)), 1);
+  EXPECT_EQ(determinant(Mat::from_rows({{2, 0}, {0, 3}})), 6);
+  EXPECT_EQ(determinant(Mat::from_rows({{1, 2}, {2, 4}})), 0);
+  EXPECT_EQ(determinant(Mat::from_rows({{0, 1}, {1, 0}})), -1);
+  EXPECT_EQ(determinant(Mat::from_rows({{3, -2}, {-2, 3}})), 5);
+  EXPECT_EQ(determinant(Mat(0, 0)), 1);
+}
+
+TEST(Det, ThreeByThree) {
+  Mat m = Mat::from_rows({{6, 1, 1}, {4, -2, 5}, {2, 8, 7}});
+  EXPECT_EQ(determinant(m), -306);
+}
+
+TEST(Det, NonSquareThrows) {
+  EXPECT_THROW(determinant(Mat(2, 3)), PreconditionError);
+}
+
+TEST(DetProperty, MultiplicativeOnRandomPairs) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 100; ++iter) {
+    Mat a = random_matrix(rng, 3, 3, -4, 4);
+    Mat b = random_matrix(rng, 3, 3, -4, 4);
+    EXPECT_EQ(determinant(a * b),
+              checked::mul(determinant(a), determinant(b)));
+  }
+}
+
+TEST(Unimodular, InverseRoundTrip) {
+  Mat t = Mat::from_rows({{1, 1}, {1, 0}});
+  Mat inv = unimodular_inverse(t);
+  EXPECT_EQ(t * inv, Mat::identity(2));
+  EXPECT_EQ(inv * t, Mat::identity(2));
+}
+
+TEST(Unimodular, RejectsSingularAndNonUnimodular) {
+  EXPECT_THROW(unimodular_inverse(Mat::from_rows({{2, 0}, {0, 1}})),
+               PreconditionError);
+  EXPECT_THROW(unimodular_inverse(Mat::from_rows({{1, 2}, {2, 4}})),
+               PreconditionError);
+}
+
+TEST(UnimodularProperty, RandomUnimodularProductsInvert) {
+  // Build random unimodular matrices as products of elementary ops.
+  Rng rng(555);
+  for (int iter = 0; iter < 100; ++iter) {
+    int n = static_cast<int>(rng.uniform(2, 4));
+    Mat t = Mat::identity(n);
+    for (int k = 0; k < 8; ++k) {
+      int a = static_cast<int>(rng.uniform(0, n - 1));
+      int b = static_cast<int>(rng.uniform(0, n - 1));
+      if (a == b) continue;
+      if (rng.chance(1, 3))
+        t.swap_cols(a, b);
+      else
+        t.add_col_multiple(a, b, rng.uniform(-2, 2));
+    }
+    ASSERT_TRUE(is_unimodular(t));
+    Mat inv = unimodular_inverse(t);
+    EXPECT_EQ(t * inv, Mat::identity(n));
+    EXPECT_EQ(inv * t, Mat::identity(n));
+  }
+}
+
+// ---------------------------------------------------------------- smith
+
+TEST(Smith, DiagonalDivisibility) {
+  Mat m = Mat::from_rows({{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}});
+  Smith s = smith_normal_form(m);
+  EXPECT_EQ(s.U * m * s.V, s.S);
+  EXPECT_TRUE(is_unimodular(s.U));
+  EXPECT_TRUE(is_unimodular(s.V));
+  ASSERT_EQ(s.rank, 3);
+  for (int i = 1; i < s.rank; ++i)
+    EXPECT_EQ(s.divisors[static_cast<std::size_t>(i)] %
+                  s.divisors[static_cast<std::size_t>(i - 1)],
+              0);
+  // |det| is preserved: product of divisors == |det m|.
+  i64 prod = 1;
+  for (i64 d : s.divisors) prod *= d;
+  EXPECT_EQ(prod, checked::abs(determinant(m)));
+}
+
+TEST(SmithProperty, RandomMatrices) {
+  Rng rng(9001);
+  for (int iter = 0; iter < 150; ++iter) {
+    int rows = static_cast<int>(rng.uniform(1, 4));
+    int cols = static_cast<int>(rng.uniform(1, 4));
+    Mat m = random_matrix(rng, rows, cols, -7, 7);
+    Smith s = smith_normal_form(m);
+    EXPECT_EQ(s.U * m * s.V, s.S) << m.to_string();
+    EXPECT_TRUE(is_unimodular(s.U));
+    EXPECT_TRUE(is_unimodular(s.V));
+    for (int i = 0; i < s.rank; ++i) {
+      EXPECT_GT(s.divisors[static_cast<std::size_t>(i)], 0);
+      if (i > 0) {
+        EXPECT_EQ(s.divisors[static_cast<std::size_t>(i)] %
+                      s.divisors[static_cast<std::size_t>(i - 1)],
+                  0);
+      }
+    }
+    // Rank agrees with echelon reduction.
+    EXPECT_EQ(s.rank, echelon_reduce(m).rank);
+  }
+}
+
+// ---------------------------------------------------------------- lattice
+
+TEST(Lattice, MembershipFullRank) {
+  Lattice l = Lattice::from_generators(Mat::from_rows({{2, 1}, {0, 2}}));
+  EXPECT_TRUE(l.contains(Vec{2, 1}));
+  EXPECT_TRUE(l.contains(Vec{0, 2}));
+  EXPECT_TRUE(l.contains(Vec{4, 0}));   // 2*(2,1) - (0,2)
+  EXPECT_TRUE(l.contains(Vec{0, 0}));
+  EXPECT_FALSE(l.contains(Vec{1, 0}));
+  EXPECT_FALSE(l.contains(Vec{2, 0}));
+  EXPECT_FALSE(l.contains(Vec{0, 1}));
+  EXPECT_EQ(l.index(), 4);
+}
+
+TEST(Lattice, MembershipRankDeficient) {
+  Lattice l = Lattice::from_generators(Mat::from_rows({{2, -2}}));
+  EXPECT_TRUE(l.contains(Vec{2, -2}));
+  EXPECT_TRUE(l.contains(Vec{-6, 6}));
+  EXPECT_FALSE(l.contains(Vec{1, -1}));
+  EXPECT_FALSE(l.contains(Vec{2, 2}));
+  EXPECT_FALSE(l.is_full_rank());
+  EXPECT_THROW(l.index(), PreconditionError);
+}
+
+TEST(Lattice, CoordinatesRoundTrip) {
+  Lattice l = Lattice::from_generators(Mat::from_rows({{2, 1}, {0, 2}}));
+  auto t = l.coordinates(Vec{6, 7});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(vec_mat_mul(*t, l.basis()), (Vec{6, 7}));
+}
+
+TEST(Lattice, ZeroLattice) {
+  Lattice l(3);
+  EXPECT_TRUE(l.is_zero());
+  EXPECT_TRUE(l.contains(Vec{0, 0, 0}));
+  EXPECT_FALSE(l.contains(Vec{0, 1, 0}));
+}
+
+TEST(Lattice, MergeGrowsLattice) {
+  Lattice a = Lattice::from_generators(Mat::from_rows({{2, 0}}));
+  Lattice b = Lattice::from_generators(Mat::from_rows({{0, 2}}));
+  Lattice m = a.merged(b);
+  EXPECT_EQ(m.rank(), 2);
+  EXPECT_TRUE(a.subset_of(m));
+  EXPECT_TRUE(b.subset_of(m));
+  EXPECT_FALSE(m.subset_of(a));
+  EXPECT_EQ(m.index(), 4);
+}
+
+TEST(LatticeProperty, RandomMembership) {
+  Rng rng(2025);
+  for (int iter = 0; iter < 100; ++iter) {
+    int dim = static_cast<int>(rng.uniform(1, 4));
+    int gens = static_cast<int>(rng.uniform(1, 4));
+    Mat g = random_matrix(rng, gens, dim, -5, 5);
+    Lattice l = Lattice::from_generators(g);
+    // Random integer combinations of generators are members.
+    Vec combo(static_cast<std::size_t>(dim), 0);
+    for (int r = 0; r < gens; ++r)
+      combo = add(combo, scale(g.row(r), rng.uniform(-3, 3)));
+    EXPECT_TRUE(l.contains(combo)) << g.to_string() << " " << to_string(combo);
+    auto t = l.coordinates(combo);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(vec_mat_mul(*t, l.basis()), combo);
+  }
+}
+
+TEST(LatticeProperty, IndexMatchesSmithDivisors) {
+  Rng rng(31415);
+  for (int iter = 0; iter < 100; ++iter) {
+    Mat g = random_matrix(rng, 3, 3, -4, 4);
+    if (determinant(g) == 0) continue;
+    Lattice l = Lattice::from_generators(g);
+    Smith s = smith_normal_form(g);
+    i64 prod = 1;
+    for (i64 d : s.divisors) prod = checked::mul(prod, d);
+    EXPECT_EQ(l.index(), prod);
+    EXPECT_EQ(l.index(), checked::abs(determinant(g)));
+  }
+}
+
+// ---------------------------------------------------------------- diophantine
+
+TEST(Diophantine, PaperStyleSystem) {
+  // x * M = c with M the stacked [A; -B] of a dependence equation.
+  Mat m = Mat::from_rows({{1, 3}, {1, 1}, {-2, -1}, {-1, -1}});
+  Vec c{-1, 2};
+  RowSolution s = solve_row_system(m, c);
+  ASSERT_TRUE(s.solvable);
+  EXPECT_EQ(vec_mat_mul(s.particular, m), c);
+  EXPECT_EQ(s.homogeneous.rows(), 2);  // 4 unknowns - rank 2
+  for (int r = 0; r < s.homogeneous.rows(); ++r) {
+    Vec x = add(s.particular, s.homogeneous.row(r));
+    EXPECT_EQ(vec_mat_mul(x, m), c);
+  }
+}
+
+TEST(Diophantine, DetectsUnsolvable) {
+  // 2*x = 1 has no integer solution.
+  Mat m = Mat::from_rows({{2}});
+  RowSolution s = solve_row_system(m, Vec{1});
+  EXPECT_FALSE(s.solvable);
+}
+
+TEST(Diophantine, DetectsInconsistent) {
+  // x*(1,1) = (0,1) is inconsistent (both components equal x).
+  Mat m = Mat::from_rows({{1, 1}});
+  RowSolution s = solve_row_system(m, Vec{0, 1});
+  EXPECT_FALSE(s.solvable);
+}
+
+TEST(Diophantine, GcdConditionExactness) {
+  // x*6 + y*10 = c solvable iff gcd(6,10)=2 divides c.
+  Mat m = Mat::from_rows({{6}, {10}});
+  EXPECT_TRUE(solve_row_system(m, Vec{8}).solvable);
+  EXPECT_TRUE(solve_row_system(m, Vec{-4}).solvable);
+  EXPECT_FALSE(solve_row_system(m, Vec{7}).solvable);
+}
+
+TEST(DiophantineProperty, SolutionsSatisfySystem) {
+  Rng rng(8675309);
+  int solvable_count = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    int rows = static_cast<int>(rng.uniform(1, 5));
+    int cols = static_cast<int>(rng.uniform(1, 3));
+    Mat m = random_matrix(rng, rows, cols, -5, 5);
+    // Bias toward solvable systems: make c a combination of rows half the time.
+    Vec c(static_cast<std::size_t>(cols));
+    if (rng.chance(1, 2)) {
+      Vec x(static_cast<std::size_t>(rows));
+      for (auto& v : x) v = rng.uniform(-4, 4);
+      c = vec_mat_mul(x, m);
+    } else {
+      for (auto& v : c) v = rng.uniform(-10, 10);
+    }
+    RowSolution s = solve_row_system(m, c);
+    if (!s.solvable) {
+      // Brute-force check on a small box: no solution should exist.
+      if (rows <= 3) {
+        for (i64 x0 = -6; x0 <= 6; ++x0) {
+          for (i64 x1 = -6; x1 <= 6; ++x1) {
+            for (i64 x2 = -6; x2 <= 6; ++x2) {
+              Vec x{x0};
+              if (rows >= 2) x.push_back(x1);
+              if (rows >= 3) x.push_back(x2);
+              EXPECT_NE(vec_mat_mul(x, m), c)
+                  << "solver missed a solution of " << m.to_string();
+              if (rows < 3) break;
+            }
+            if (rows < 2) break;
+          }
+        }
+      }
+      continue;
+    }
+    ++solvable_count;
+    EXPECT_EQ(vec_mat_mul(s.particular, m), c);
+    for (int r = 0; r < s.homogeneous.rows(); ++r) {
+      Vec h = s.homogeneous.row(r);
+      EXPECT_TRUE(is_zero(vec_mat_mul(h, m)))
+          << "homogeneous row is not a kernel element";
+    }
+  }
+  EXPECT_GT(solvable_count, 100);  // the bias should make many solvable
+}
+
+}  // namespace
+}  // namespace vdep::intlin

@@ -1,0 +1,249 @@
+// Tests for constraint systems and exact Fourier-Motzkin elimination,
+// including brute-force cross-validation of extracted loop bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "loopir/builder.h"
+#include "poly/constraints.h"
+#include "poly/fourier_motzkin.h"
+#include "support/rng.h"
+
+namespace vdep::poly {
+namespace {
+
+using loopir::AffineExpr;
+using loopir::Bound;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+// Enumerate all integer points of a system by brute force over a box.
+std::set<Vec> brute_points(const ConstraintSystem& cs, i64 lo, i64 hi) {
+  std::set<Vec> pts;
+  VDEP_REQUIRE(cs.dim() >= 1 && cs.dim() <= 3, "brute_points supports dim 1..3");
+  Vec p(static_cast<std::size_t>(cs.dim()));
+  for (i64 a = lo; a <= hi; ++a) {
+    p[0] = a;
+    if (cs.dim() == 1) {
+      if (cs.satisfied_by(p)) pts.insert(p);
+      continue;
+    }
+    for (i64 b = lo; b <= hi; ++b) {
+      p[1] = b;
+      if (cs.dim() == 2) {
+        if (cs.satisfied_by(p)) pts.insert(p);
+        continue;
+      }
+      for (i64 c = lo; c <= hi; ++c) {
+        p[2] = c;
+        if (cs.satisfied_by(p)) pts.insert(p);
+      }
+    }
+  }
+  return pts;
+}
+
+// Enumerate the points visited by extracted bounds (outer to inner).
+std::set<Vec> bound_points(const NestBounds& nb, int dim) {
+  std::set<Vec> pts;
+  Vec p(static_cast<std::size_t>(dim), 0);
+  std::function<void(int)> rec = [&](int k) {
+    if (k == dim) {
+      pts.insert(p);
+      return;
+    }
+    i64 lo = nb.lower[static_cast<std::size_t>(k)].eval_lower(p);
+    i64 hi = nb.upper[static_cast<std::size_t>(k)].eval_upper(p);
+    for (i64 v = lo; v <= hi; ++v) {
+      p[static_cast<std::size_t>(k)] = v;
+      rec(k + 1);
+    }
+    p[static_cast<std::size_t>(k)] = 0;
+  };
+  rec(0);
+  return pts;
+}
+
+TEST(Constraint, SatisfactionAndNormalization) {
+  Constraint c{Vec{2, 4}, 7};
+  EXPECT_TRUE(c.satisfied_by(Vec{1, 1}));    // 6 <= 7
+  EXPECT_FALSE(c.satisfied_by(Vec{2, 1}));   // 8 > 7
+  Constraint n = c.normalized();
+  EXPECT_EQ(n.coeffs, (Vec{1, 2}));
+  EXPECT_EQ(n.rhs, 3);  // floor(7/2) — tighter but equivalent over Z
+  for (i64 a = -5; a <= 5; ++a)
+    for (i64 b = -5; b <= 5; ++b)
+      EXPECT_EQ(c.satisfied_by(Vec{a, b}), n.satisfied_by(Vec{a, b}));
+}
+
+TEST(ConstraintSystem, BoxAndMembership) {
+  ConstraintSystem cs(2);
+  cs.add_box(0, -2, 3);
+  cs.add_box(1, 0, 1);
+  EXPECT_TRUE(cs.satisfied_by(Vec{3, 1}));
+  EXPECT_FALSE(cs.satisfied_by(Vec{4, 0}));
+  EXPECT_FALSE(cs.satisfied_by(Vec{0, -1}));
+  EXPECT_EQ(brute_points(cs, -5, 5).size(), 12u);
+}
+
+TEST(ConstraintSystem, FromNestMatchesEnumeration) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 4);
+  b.loop("i2", Bound(AffineExpr(Vec{1, 0}, 0)), Bound(AffineExpr::constant(2, 4)));
+  b.array("A", {{0, 4}});
+  b.assign(b.ref("A", {b.idx(1)}), loopir::Expr::constant(0));
+  LoopNest nest = b.build();
+  ConstraintSystem cs = ConstraintSystem::from_nest(nest);
+  std::set<Vec> pts = brute_points(cs, -2, 6);
+  EXPECT_EQ(pts.size(), 15u);
+  for (const Vec& i : nest.iterations()) EXPECT_TRUE(pts.count(i));
+}
+
+TEST(ConstraintSystem, TransformedPreservesMembership) {
+  ConstraintSystem cs(2);
+  cs.add_box(0, -3, 3);
+  cs.add_box(1, -2, 2);
+  Mat t = Mat::from_rows({{1, 1}, {1, 0}});  // j = i*T
+  ConstraintSystem ct = cs.transformed(t);
+  for (i64 a = -3; a <= 3; ++a)
+    for (i64 b = -2; b <= 2; ++b) {
+      Vec i{a, b};
+      Vec j = intlin::vec_mat_mul(i, t);
+      EXPECT_TRUE(ct.satisfied_by(j));
+    }
+  // Points outside the image must not satisfy.
+  int count = 0;
+  for (i64 a = -10; a <= 10; ++a)
+    for (i64 b = -10; b <= 10; ++b)
+      if (ct.satisfied_by(Vec{a, b})) ++count;
+  EXPECT_EQ(count, 7 * 5);
+}
+
+TEST(ConstraintSystem, SimplifyMergesDuplicates) {
+  ConstraintSystem cs(1);
+  cs.add(Vec{1}, 5);
+  cs.add(Vec{1}, 3);
+  cs.add(Vec{1}, 7);
+  cs.simplify();
+  ASSERT_EQ(cs.constraints().size(), 1u);
+  EXPECT_EQ(cs.constraints()[0].rhs, 3);
+}
+
+TEST(FourierMotzkin, EliminateKeepsShadow) {
+  // Triangle: 0 <= x <= y <= 4. Projecting out y leaves 0 <= x <= 4.
+  ConstraintSystem cs(2);
+  cs.add(Vec{-1, 0}, 0);   // -x <= 0
+  cs.add(Vec{1, -1}, 0);   // x - y <= 0
+  cs.add(Vec{0, 1}, 4);    // y <= 4
+  ConstraintSystem p = eliminate_variable(cs, 1);
+  for (i64 x = -3; x <= 7; ++x) {
+    bool member = x >= 0 && x <= 4;
+    EXPECT_EQ(p.satisfied_by(Vec{x, 0}), member) << x;
+  }
+}
+
+TEST(FourierMotzkin, InfeasibleDetected) {
+  ConstraintSystem cs(2);
+  cs.add(Vec{1, 0}, -1);   // x <= -1
+  cs.add(Vec{-1, 0}, -1);  // x >= 1
+  EXPECT_TRUE(relaxation_infeasible(cs));
+  ConstraintSystem ok(2);
+  ok.add_box(0, 0, 1);
+  ok.add_box(1, 0, 1);
+  EXPECT_FALSE(relaxation_infeasible(ok));
+}
+
+TEST(FourierMotzkin, ExtractBoundsRectangle) {
+  ConstraintSystem cs(2);
+  cs.add_box(0, -2, 5);
+  cs.add_box(1, 1, 3);
+  NestBounds nb = extract_bounds(cs);
+  EXPECT_EQ(nb.lower[0].eval_lower(Vec{0, 0}), -2);
+  EXPECT_EQ(nb.upper[0].eval_upper(Vec{0, 0}), 5);
+  EXPECT_EQ(nb.lower[1].eval_lower(Vec{0, 0}), 1);
+  EXPECT_EQ(nb.upper[1].eval_upper(Vec{0, 0}), 3);
+}
+
+TEST(FourierMotzkin, ExtractBoundsSkewedParallelogram) {
+  // Image of the box [-3,3]x[-2,2] under j = i*T, T = [[1,1],[1,0]]:
+  // j2 = i1 in [-3,3]; j1 = i1+i2 with j1 - j2 = i2 in [-2,2].
+  ConstraintSystem cs(2);
+  cs.add_box(0, -3, 3);
+  cs.add_box(1, -2, 2);
+  ConstraintSystem ct = cs.transformed(Mat::from_rows({{1, 1}, {1, 0}}));
+  NestBounds nb = extract_bounds(ct);
+  std::set<Vec> got = bound_points(nb, 2);
+  std::set<Vec> expected;
+  for (i64 a = -3; a <= 3; ++a)
+    for (i64 b = -2; b <= 2; ++b)
+      expected.insert(Vec{a + b, a});
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FourierMotzkinProperty, RandomSystemsProjectExactly) {
+  // FM projection over the rationals must contain exactly the integer points
+  // whose fibers are nonempty *in the relaxation*; for systems built from
+  // boxes and unimodular images the integer shadow equals the rational one,
+  // which is what loop-bound generation relies on. Verify point sets match.
+  Rng rng(271828);
+  for (int iter = 0; iter < 60; ++iter) {
+    ConstraintSystem cs(2);
+    cs.add_box(0, rng.uniform(-4, 0), rng.uniform(1, 4));
+    cs.add_box(1, rng.uniform(-4, 0), rng.uniform(1, 4));
+    // Random unimodular transform built from elementary column ops.
+    Mat t = Mat::identity(2);
+    for (int k = 0; k < 4; ++k) {
+      if (rng.chance(1, 3)) {
+        t.swap_cols(0, 1);
+      } else {
+        int dst = static_cast<int>(rng.uniform(0, 1));
+        t.add_col_multiple(dst, dst ^ 1, rng.uniform(-2, 2));
+      }
+    }
+    if (!intlin::is_unimodular(t)) continue;
+    ConstraintSystem ct = cs.transformed(t);
+    NestBounds nb = extract_bounds(ct);
+    std::set<Vec> got = bound_points(nb, 2);
+    std::set<Vec> expected = brute_points(ct, -40, 40);
+    EXPECT_EQ(got, expected) << "T=" << t.to_string();
+  }
+}
+
+TEST(FourierMotzkinProperty, ThreeDeepTriangularBounds) {
+  // 0 <= x <= 3, x <= y <= 3, y <= z <= x + y.
+  ConstraintSystem cs(3);
+  cs.add(Vec{-1, 0, 0}, 0);
+  cs.add(Vec{1, 0, 0}, 3);
+  cs.add(Vec{1, -1, 0}, 0);
+  cs.add(Vec{0, 1, 0}, 3);
+  cs.add(Vec{0, 1, -1}, 0);
+  cs.add(Vec{-1, -1, 1}, 0);
+  NestBounds nb = extract_bounds(cs);
+  std::set<Vec> got = bound_points(nb, 3);
+  std::set<Vec> expected = brute_points(cs, -2, 8);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FourierMotzkin, VariableRange) {
+  ConstraintSystem cs(2);
+  cs.add_box(0, -3, 3);
+  cs.add_box(1, -2, 2);
+  ConstraintSystem ct = cs.transformed(Mat::from_rows({{1, 1}, {1, 0}}));
+  auto r0 = ct.variable_range(0);  // j1 = i1 + i2 in [-5, 5]
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->first, -5);
+  EXPECT_EQ(r0->second, 5);
+  auto r1 = ct.variable_range(1);  // j2 = i1 in [-3, 3]
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->first, -3);
+  EXPECT_EQ(r1->second, 3);
+}
+
+TEST(FourierMotzkin, UnboundedRangeReturnsNullopt) {
+  ConstraintSystem cs(2);
+  cs.add(Vec{1, 0}, 5);  // only an upper bound on x
+  EXPECT_FALSE(cs.variable_range(0).has_value());
+}
+
+}  // namespace
+}  // namespace vdep::poly

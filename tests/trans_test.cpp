@@ -1,0 +1,435 @@
+// Tests for the transformation framework: Theorem 1 legality, the
+// elementary legal operations (Corollaries 2-4), Algorithm 1 and the
+// Theorem 2 partitioner, plus the combined planner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intlin/det.h"
+#include "loopir/builder.h"
+#include "trans/algorithm1.h"
+#include "trans/legality.h"
+#include "trans/partition.h"
+#include "trans/planner.h"
+#include "support/rng.h"
+
+namespace vdep::trans {
+namespace {
+
+using dep::Pdm;
+using dep::compute_pdm;
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+Mat random_hnf(Rng& rng, int rows, int cols) {
+  Mat gens(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) gens.at(r, c) = rng.uniform(-4, 4);
+  return intlin::hermite_normal_form(gens);
+}
+
+// ----------------------------------------------------------- legality
+
+TEST(Legality, IdentityIsAlwaysLegal) {
+  Mat h = Mat::from_rows({{2, -2}});
+  EXPECT_TRUE(is_legal_transform(h, Mat::identity(2)));
+}
+
+TEST(Legality, Theorem1AcceptsKnownLegalTransform) {
+  // Example 4.1: H = [2,-2], T = [[1,1],[1,0]] gives H*T = [0,2].
+  Mat h = Mat::from_rows({{2, -2}});
+  Mat t = Mat::from_rows({{1, 1}, {1, 0}});
+  EXPECT_TRUE(is_legal_transform(h, t));
+  EXPECT_EQ(h * t, Mat::from_rows({{0, 2}}));
+}
+
+TEST(Legality, Theorem1RejectsOrderReversal) {
+  // Full reversal maps (2,-2) to (-2,2): lexicographically negative.
+  Mat h = Mat::from_rows({{2, -2}});
+  Mat rev = Mat::from_rows({{-1, 0}, {0, -1}});
+  EXPECT_FALSE(is_legal_transform(h, rev));
+}
+
+TEST(Legality, RejectsNonUnimodular) {
+  Mat h = Mat::from_rows({{1, 0}});
+  EXPECT_FALSE(is_legal_transform(h, Mat::from_rows({{2, 0}, {0, 1}})));
+}
+
+TEST(Legality, EmptyPdmAcceptsAnyUnimodular) {
+  Mat h(0, 2);
+  EXPECT_TRUE(is_legal_transform(h, Mat::from_rows({{0, 1}, {1, 0}})));
+  EXPECT_TRUE(is_legal_transform(h, Mat::from_rows({{-1, 0}, {0, -1}})));
+  EXPECT_FALSE(is_legal_transform(h, Mat::from_rows({{2, 0}, {0, 1}})));
+}
+
+TEST(Legality, InterchangeOnDiagonalPdmIsIllegal) {
+  // H = [[1,0],[0,1]]: interchange maps distance (0,1)|(1,-5)... the row
+  // (1, -5) is admissible (t = (1,-5) lex positive) and maps to (-5, 1):
+  // lex negative. Theorem 1 detects this via the echelon shape.
+  Mat h = Mat::from_rows({{1, 0}, {0, 1}});
+  EXPECT_FALSE(interchange_is_legal(h, 0, 1));
+}
+
+TEST(Legality, InterchangeLegalWhenColumnDecoupled) {
+  // H = [[0,1,0],[0,0,2]] (loops 2,3 carry deps; loop 1 free):
+  // interchanging levels 0 and 1 hoists the free loop — legal.
+  Mat h = Mat::from_rows({{0, 1, 0}, {0, 0, 2}});
+  EXPECT_TRUE(interchange_is_legal(h, 0, 1));
+  EXPECT_FALSE(interchange_is_legal(h, 1, 2));
+}
+
+TEST(Legality, RightSkewAlwaysLegalProperty) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = static_cast<int>(rng.uniform(2, 4));
+    Mat h = random_hnf(rng, static_cast<int>(rng.uniform(1, 3)), n);
+    if (h.rows() == 0) continue;
+    int src = static_cast<int>(rng.uniform(0, n - 2));
+    int dst = static_cast<int>(rng.uniform(src + 1, n - 1));
+    i64 k = rng.uniform(-5, 5);
+    EXPECT_TRUE(is_legal_transform(h, right_skew(n, src, dst, k)))
+        << h.to_string() << " skew(" << src << "," << dst << "," << k << ")";
+  }
+}
+
+TEST(Legality, ShiftZeroColumnToFrontProperty) {
+  // Corollary 3: moving a zero column to the leftmost position is legal.
+  Rng rng(123);
+  for (int iter = 0; iter < 100; ++iter) {
+    int n = 3;
+    Mat h = random_hnf(rng, 2, n);
+    if (h.rows() == 0) continue;
+    for (int c = 0; c < n; ++c) {
+      if (!h.col_is_zero(c)) continue;
+      EXPECT_TRUE(shift_is_legal(h, c, 0)) << h.to_string() << " col " << c;
+      Mat moved = h * cycle(n, c, 0);
+      EXPECT_TRUE(moved.col_is_zero(0));
+    }
+  }
+}
+
+TEST(Legality, CompositionOfLegalStepsIsLegal) {
+  // Corollary 1 on example 4.1's op sequence.
+  Mat h = Mat::from_rows({{2, -2}});
+  Mat t1 = right_skew(2, 0, 1, 1);  // H*t1 = [2, 0]
+  ASSERT_TRUE(is_legal_transform(h, t1));
+  Mat h1 = h * t1;
+  Mat t2 = cycle(2, 1, 0);  // move zero column of [2,0] to front
+  ASSERT_TRUE(is_legal_transform(h1, t2));
+  EXPECT_TRUE(legal_composition(h, t1, t2));
+  EXPECT_TRUE(is_legal_transform(h, t1 * t2));
+  EXPECT_EQ(h * (t1 * t2), Mat::from_rows({{0, 2}}));
+}
+
+TEST(Legality, CycleMatrixShape) {
+  // cycle(3, 2, 0) sends old index 2 to position 0: (a,b,c) -> (c,a,b).
+  Mat t = cycle(3, 2, 0);
+  EXPECT_EQ(intlin::vec_mat_mul(Vec{10, 20, 30}, t), (Vec{30, 10, 20}));
+  EXPECT_TRUE(intlin::is_unimodular(t));
+  EXPECT_EQ(cycle(3, 0, 0), Mat::identity(3));
+}
+
+TEST(Legality, ReversalAndInterchangeAreUnimodular) {
+  EXPECT_TRUE(intlin::is_unimodular(reversal(3, 1)));
+  EXPECT_TRUE(intlin::is_unimodular(interchange(4, 0, 3)));
+  EXPECT_TRUE(intlin::is_unimodular(skew(3, 2, 0, -7)));
+}
+
+// --------------------------------------------------------- algorithm 1
+
+TEST(Algorithm1, Example41Pdm) {
+  Mat h = Mat::from_rows({{2, -2}});
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 1);
+  EXPECT_TRUE(r.transformed_pdm.col_is_zero(0));
+  EXPECT_EQ(r.transformed_pdm.at(0, 1), 2);  // the full-rank block [2]
+  EXPECT_TRUE(intlin::is_unimodular(r.t));
+  EXPECT_TRUE(is_legal_transform(h, r.t));
+  EXPECT_FALSE(r.ops.empty());
+}
+
+TEST(Algorithm1, AlreadyZeroColumn) {
+  // H = [[0, 1]]: loop 0 independent; algorithm must expose 1 zero column.
+  Mat h = Mat::from_rows({{0, 1}});
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 1);
+  EXPECT_TRUE(r.transformed_pdm.col_is_zero(0));
+}
+
+TEST(Algorithm1, FullRankIsANoop) {
+  Mat h = Mat::from_rows({{2, 1}, {0, 2}});
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 0);
+  EXPECT_EQ(r.t, Mat::identity(2));
+  EXPECT_EQ(r.transformed_pdm, h);
+}
+
+TEST(Algorithm1, EmptyPdmAllColumnsZero) {
+  Mat h(0, 3);
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 3);
+  EXPECT_EQ(r.t, Mat::identity(3));
+}
+
+TEST(Algorithm1, ThreeDeepRankOne) {
+  // H = [1, 2, 3]: two DOALL loops after transformation.
+  Mat h = Mat::from_rows({{1, 2, 3}});
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 2);
+  EXPECT_TRUE(r.transformed_pdm.col_is_zero(0));
+  EXPECT_TRUE(r.transformed_pdm.col_is_zero(1));
+  EXPECT_GT(r.transformed_pdm.at(0, 2), 0);
+  EXPECT_TRUE(is_legal_transform(h, r.t));
+  // Content is preserved: gcd of the row is the surviving pivot.
+  EXPECT_EQ(r.transformed_pdm.at(0, 2), 1);
+}
+
+TEST(Algorithm1, PreservesContentOfRankOneRow) {
+  Mat h = Mat::from_rows({{4, -6}});
+  Algorithm1Result r = algorithm1(h);
+  EXPECT_EQ(r.zero_columns, 1);
+  EXPECT_EQ(r.transformed_pdm.at(0, 1), 2);  // gcd(4,6)
+}
+
+TEST(Algorithm1Property, RandomPdmInvariants) {
+  Rng rng(31337);
+  int nontrivial = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    int n = static_cast<int>(rng.uniform(1, 4));
+    int gens = static_cast<int>(rng.uniform(1, 3));
+    Mat h = random_hnf(rng, gens, n);
+    Algorithm1Result r = algorithm1(h);
+    int rho = h.rows();
+    EXPECT_EQ(r.zero_columns, n - rho);
+    EXPECT_TRUE(intlin::is_unimodular(r.t));
+    EXPECT_EQ(h * r.t, r.transformed_pdm);
+    EXPECT_TRUE(is_legal_transform(h, r.t)) << h.to_string();
+    for (int c = 0; c < r.zero_columns; ++c)
+      EXPECT_TRUE(r.transformed_pdm.col_is_zero(c));
+    EXPECT_TRUE(intlin::is_echelon_lex_positive(r.transformed_pdm));
+    if (rho > 0 && rho < n) ++nontrivial;
+  }
+  EXPECT_GT(nontrivial, 50);
+}
+
+TEST(Algorithm1Property, TransformedLatticeIsOriginalTimesT) {
+  Rng rng(2718);
+  for (int iter = 0; iter < 100; ++iter) {
+    int n = 3;
+    Mat h = random_hnf(rng, 2, n);
+    if (h.rows() == 0) continue;
+    Algorithm1Result r = algorithm1(h);
+    // Every row d of H maps to d*T inside lattice(H*T) and back.
+    intlin::Lattice lt = intlin::Lattice::from_generators(r.transformed_pdm);
+    for (int row = 0; row < h.rows(); ++row)
+      EXPECT_TRUE(lt.contains(intlin::vec_mat_mul(h.row(row), r.t)));
+  }
+}
+
+TEST(Algorithm1, RejectsNonHnfInput) {
+  EXPECT_THROW(algorithm1(Mat::from_rows({{0, 1}, {1, 0}})), PreconditionError);
+}
+
+// --------------------------------------------------------- partitioning
+
+TEST(Partitioning, Example42FourClasses) {
+  Partitioning p(Mat::from_rows({{2, 1}, {0, 2}}));
+  EXPECT_EQ(p.num_classes(), 4);
+  EXPECT_EQ(p.dim(), 2);
+}
+
+TEST(Partitioning, ResidueMatchesLatticeMembership) {
+  Partitioning p(Mat::from_rows({{2, 1}, {0, 2}}));
+  intlin::Lattice lat =
+      intlin::Lattice::from_generators(Mat::from_rows({{2, 1}, {0, 2}}));
+  for (i64 a1 = -4; a1 <= 4; ++a1)
+    for (i64 a2 = -4; a2 <= 4; ++a2)
+      for (i64 b1 = -4; b1 <= 4; ++b1)
+        for (i64 b2 = -4; b2 <= 4; ++b2) {
+          Vec x{a1, a2}, y{b1, b2};
+          bool same = p.residue_of(x) == p.residue_of(y);
+          EXPECT_EQ(same, lat.contains(intlin::sub(y, x)))
+              << intlin::to_string(x) << " vs " << intlin::to_string(y);
+        }
+}
+
+TEST(Partitioning, SkewedOffsetsInResidue) {
+  // H = [[2,1],[0,2]]: iterations (0,0) and (2,1) are in the same class
+  // ((2,1) is a lattice row), but (2,0) is not ((2,0) - (0,0) = (2,0) is
+  // not in the lattice).
+  Partitioning p(Mat::from_rows({{2, 1}, {0, 2}}));
+  EXPECT_EQ(p.residue_of(Vec{0, 0}), p.residue_of(Vec{2, 1}));
+  EXPECT_NE(p.residue_of(Vec{0, 0}), p.residue_of(Vec{2, 0}));
+}
+
+TEST(Partitioning, ClassIdRoundTrip) {
+  Partitioning p(Mat::from_rows({{3, 1}, {0, 2}}));
+  EXPECT_EQ(p.num_classes(), 6);
+  std::set<i64> ids;
+  for (i64 id = 0; id < 6; ++id) {
+    Vec label = p.class_label(id);
+    EXPECT_GE(label[0], 0);
+    EXPECT_LT(label[0], 3);
+    EXPECT_GE(label[1], 0);
+    EXPECT_LT(label[1], 2);
+    // A representative iteration with this residue encodes back to id.
+    EXPECT_EQ(p.class_id(label), id);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 6u);
+}
+
+LoopNest simple_square(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", -n, n).loop("i2", -n, n);
+  b.array("A", {{-3 * n - 10, 3 * n + 10}});
+  b.assign(b.ref("A", {b.affine({1, -2}, 4)}),
+           Expr::add(b.read("A", {b.affine({1, -2}, 0)}), Expr::constant(1)));
+  return b.build();
+}
+
+TEST(Partitioning, ClassScanCoversSpaceDisjointly) {
+  LoopNest nest = simple_square(5);
+  Partitioning p(Mat::from_rows({{2, 1}, {0, 2}}));
+  std::set<Vec> seen;
+  i64 total = 0;
+  for (i64 id = 0; id < p.num_classes(); ++id) {
+    Vec label = p.class_label(id);
+    Vec prev;
+    bool first = true;
+    p.for_each_class_iteration(nest, label, [&](const Vec& i) {
+      EXPECT_TRUE(nest.contains(i));
+      EXPECT_EQ(p.class_id(i), id);            // member of the right class
+      EXPECT_TRUE(seen.insert(i).second);      // disjoint across classes
+      if (!first) {
+        EXPECT_TRUE(intlin::lex_less(prev, i));  // lex order
+      }
+      prev = i;
+      first = false;
+      ++total;
+    });
+  }
+  EXPECT_EQ(total, nest.iteration_count());  // classes cover the space
+}
+
+TEST(Partitioning, TrailingBlockScanWithPrefix) {
+  // 3-deep nest, partition dims 1..2 with H = [[2,0],[0,2]].
+  LoopNestBuilder b;
+  b.loop("j0", 0, 1).loop("j1", -2, 2).loop("j2", -2, 2);
+  b.array("A", {{-20, 20}});
+  b.assign(b.ref("A", {b.affine({0, 1, -2}, 4)}),
+           b.read("A", {b.affine({0, 1, -2}, 0)}));
+  LoopNest nest = b.build();
+  Partitioning p(Mat::from_rows({{2, 0}, {0, 2}}));
+  std::set<Vec> seen;
+  for (i64 j0 = 0; j0 <= 1; ++j0) {
+    for (i64 id = 0; id < 4; ++id) {
+      Vec iter{j0, 0, 0};
+      p.for_each_class_iteration_from(nest, 1, p.class_label(id), iter,
+                                      [&](const Vec& i) {
+                                        EXPECT_EQ(i[0], j0);
+                                        EXPECT_TRUE(seen.insert(i).second);
+                                      });
+    }
+  }
+  EXPECT_EQ(static_cast<i64>(seen.size()), nest.iteration_count());
+}
+
+TEST(Partitioning, RejectsNonTriangular) {
+  EXPECT_THROW(Partitioning(Mat::from_rows({{0, 1}, {1, 0}})), PreconditionError);
+  EXPECT_THROW(Partitioning(Mat::from_rows({{1, 2, 3}})), PreconditionError);
+}
+
+TEST(PartitioningProperty, RandomLatticesPartitionCorrectly) {
+  Rng rng(60221023);
+  for (int iter = 0; iter < 50; ++iter) {
+    Mat gens(2, 2);
+    do {
+      for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c) gens.at(r, c) = rng.uniform(-3, 3);
+    } while (intlin::determinant(gens) == 0);
+    Mat h = intlin::hermite_normal_form(gens);
+    Partitioning p(h);
+    intlin::Lattice lat = intlin::Lattice::from_generators(h);
+    EXPECT_EQ(p.num_classes(), lat.index());
+    // Count residues over a big box: every class appears equally often
+    // in any box of side num_classes * k.
+    std::map<i64, int> counts;
+    i64 side = p.num_classes();
+    for (i64 a = 0; a < side * 2; ++a)
+      for (i64 b = 0; b < side * 2; ++b) counts[p.class_id(Vec{a, b})]++;
+    EXPECT_EQ(static_cast<i64>(counts.size()), p.num_classes());
+  }
+}
+
+// -------------------------------------------------------------- planner
+
+TEST(Planner, Example41Plan) {
+  LoopNestBuilder b;
+  b.loop("i1", -10, 10).loop("i2", -10, 10);
+  b.array("A", {{-70, 70}, {-70, 70}});
+  b.assign(b.ref("A", {b.affine({3, -2}, 2), b.affine({-2, 3}, -2)}),
+           Expr::add(b.read("A", {b.idx(0), b.idx(1)}), Expr::constant(1)));
+  Pdm pdm = compute_pdm(b.build());
+  ASSERT_EQ(pdm.matrix(), Mat::from_rows({{2, -2}}));
+  TransformPlan plan = plan_transform(pdm);
+  EXPECT_EQ(plan.num_doall, 1);
+  ASSERT_TRUE(plan.partition.has_value());
+  EXPECT_EQ(plan.partition_classes, 2);
+  EXPECT_FALSE(plan.is_identity_transform());
+  EXPECT_TRUE(is_legal_transform(pdm.matrix(), plan.t));
+}
+
+TEST(Planner, Example42Plan) {
+  Pdm pdm(2, Mat::from_rows({{2, 1}, {0, 2}}), {});
+  TransformPlan plan = plan_transform(pdm);
+  EXPECT_EQ(plan.num_doall, 0);
+  EXPECT_TRUE(plan.is_identity_transform());
+  ASSERT_TRUE(plan.partition.has_value());
+  EXPECT_EQ(plan.partition_classes, 4);
+}
+
+TEST(Planner, EmptyPdmFullyParallel) {
+  Pdm pdm(3, Mat(0, 3), {});
+  TransformPlan plan = plan_transform(pdm);
+  EXPECT_EQ(plan.num_doall, 3);
+  EXPECT_FALSE(plan.partition.has_value());
+  EXPECT_EQ(plan.partition_classes, 1);
+}
+
+TEST(Planner, UniformUnitDistanceNoPartition) {
+  // H = [[1,0],[0,1]]: full rank but det 1 — nothing to partition.
+  Pdm pdm(2, Mat::identity(2), {});
+  TransformPlan plan = plan_transform(pdm);
+  EXPECT_EQ(plan.num_doall, 0);
+  EXPECT_FALSE(plan.partition.has_value());
+  EXPECT_EQ(plan.partition_classes, 1);
+}
+
+TEST(Planner, ZeroColumnBecomesOuterDoall) {
+  // H = [[1,0]] (only loop 0 carries the dependence): one DOALL after
+  // transformation; no partition (pivot 1).
+  Pdm pdm(2, Mat::from_rows({{1, 0}}), {});
+  TransformPlan plan = plan_transform(pdm);
+  EXPECT_EQ(plan.num_doall, 1);
+  EXPECT_FALSE(plan.partition.has_value());
+  // The dependent loop moved innermost: H*T = [0, 1].
+  EXPECT_EQ(plan.transformed_pdm, Mat::from_rows({{0, 1}}));
+}
+
+TEST(PlannerProperty, ParallelismNeverWorseThanSerial) {
+  Rng rng(8080);
+  for (int iter = 0; iter < 100; ++iter) {
+    int n = static_cast<int>(rng.uniform(1, 3));
+    Mat h = random_hnf(rng, static_cast<int>(rng.uniform(1, 3)), n);
+    Pdm pdm(n, h, {});
+    TransformPlan plan = plan_transform(pdm);
+    EXPECT_GE(plan.num_doall, n - h.rows());
+    EXPECT_GE(plan.partition_classes, 1);
+    EXPECT_TRUE(is_legal_transform(h, plan.t));
+  }
+}
+
+}  // namespace
+}  // namespace vdep::trans
