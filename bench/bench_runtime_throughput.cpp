@@ -1,0 +1,146 @@
+// E10: materialized vs streaming execution throughput.
+//
+// The materialized path pays O(total_iterations x depth) memory and build
+// time before the first loop body runs; the streaming runtime starts
+// executing immediately and its schedule state is a handful of 32-byte
+// descriptors. At sizes where both fit, streaming must match or beat the
+// end-to-end materialized throughput; past ~hundreds of MB of schedule the
+// materialized path is not runnable at all and is reported as skipped with
+// its estimated footprint.
+//
+// Output is one JSON object per line (scrapeable into BENCH_*.json):
+//   {"bench":"runtime_throughput","name":...,"mode":"streaming","threads":2,
+//    "n":250,"iterations":251001,"seconds":...,"iters_per_sec":...,
+//    "tasks":...,"steals":...,"sched_bytes":...}
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/suite.h"
+#include "dep/pdm.h"
+#include "exec/compiled.h"
+#include "exec/runner.h"
+#include "runtime/stream_executor.h"
+#include "trans/planner.h"
+
+using namespace vdep;
+using intlin::i64;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Estimated heap footprint of a materialized Schedule: one std::vector<i64>
+// per iteration (header + depth coefficients) plus the per-item vectors.
+i64 materialized_bytes(i64 iterations, int depth) {
+  return iterations * (static_cast<i64>(sizeof(std::vector<i64>)) + 8 * depth);
+}
+
+void emit(const std::string& name, const std::string& mode,
+          std::size_t threads, i64 n, i64 iterations, double secs, i64 tasks,
+          i64 steals, i64 sched_bytes) {
+  std::printf(
+      "{\"bench\":\"runtime_throughput\",\"name\":\"%s\",\"mode\":\"%s\","
+      "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
+      "\"iters_per_sec\":%.0f,\"tasks\":%lld,\"steals\":%lld,"
+      "\"sched_bytes\":%lld}\n",
+      name.c_str(), mode.c_str(), threads, static_cast<long long>(n),
+      static_cast<long long>(iterations), secs,
+      secs > 0 ? static_cast<double>(iterations) / secs : 0.0,
+      static_cast<long long>(tasks), static_cast<long long>(steals),
+      static_cast<long long>(sched_bytes));
+}
+
+void emit_skipped(const std::string& name, std::size_t threads, i64 n,
+                  i64 est_bytes) {
+  std::printf(
+      "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
+      "\"mode\":\"materialized\",\"threads\":%zu,\"n\":%lld,"
+      "\"skipped\":\"schedule_too_large\",\"est_sched_bytes\":%lld}\n",
+      name.c_str(), threads, static_cast<long long>(n),
+      static_cast<long long>(est_bytes));
+}
+
+double run_materialized(const std::string& name, const loopir::LoopNest& nest,
+                        const trans::TransformPlan& plan, std::size_t threads,
+                        i64 n) {
+  ThreadPool pool(threads);
+  exec::ArrayStore store(nest);
+  store.fill_pattern();
+  auto t0 = std::chrono::steady_clock::now();
+  exec::Schedule sched = exec::build_schedule(nest, plan);
+  exec::execute_schedule_compiled(nest, sched, store, pool);
+  double secs = seconds_since(t0);
+  i64 iters = sched.total_iterations();
+  emit(name, "materialized", threads, n, iters, secs,
+       static_cast<i64>(sched.items.size()), 0,
+       materialized_bytes(iters, nest.depth()));
+  return secs;
+}
+
+double run_streaming(const std::string& name, const loopir::LoopNest& nest,
+                     const trans::TransformPlan& plan, std::size_t threads,
+                     i64 n) {
+  runtime::StreamOptions so;
+  so.num_threads = threads;
+  runtime::StreamExecutor ex(nest, plan, so);
+  exec::ArrayStore store(nest);
+  store.fill_pattern();
+  auto t0 = std::chrono::steady_clock::now();
+  runtime::RuntimeStats rs = ex.run(store);
+  double secs = seconds_since(t0);
+  // Schedule state: the descriptors that ever existed, 32 bytes each.
+  emit(name, "streaming", threads, n, rs.total_iterations(), secs,
+       rs.total_tasks(), rs.total_steals(),
+       rs.total_tasks() * static_cast<i64>(sizeof(runtime::TaskDescriptor)));
+  return secs;
+}
+
+struct Case {
+  const char* name;
+  loopir::LoopNest (*make)(i64);
+  i64 both_n;       ///< size where materialized and streaming both run
+  i64 streaming_n;  ///< size the materialized path cannot hold
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional scale factor (default 1): ./bench_runtime_throughput 2
+  i64 scale = argc > 1 ? std::max(1L, std::atol(argv[1])) : 1;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const Case cases[] = {
+      {"example_4_2", &core::example42, 250, 2000 * scale},
+      {"matmul_reduction", &core::matmul_reduction, 48, 250 * scale},
+  };
+
+  for (const Case& c : cases) {
+    loopir::LoopNest nest = c.make(c.both_n);
+    trans::TransformPlan plan = trans::plan_transform(dep::compute_pdm(nest));
+    for (std::size_t threads : {std::size_t{1}, hw}) {
+      double mat = run_materialized(c.name, nest, plan, threads, c.both_n);
+      double str = run_streaming(c.name, nest, plan, threads, c.both_n);
+      std::printf(
+          "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
+          "\"mode\":\"comparison\",\"threads\":%zu,\"n\":%lld,"
+          "\"streaming_speedup\":%.3f}\n",
+          c.name, threads, static_cast<long long>(c.both_n),
+          str > 0 ? mat / str : 0.0);
+      if (threads == hw && hw == 1) break;  // avoid duplicate rows
+    }
+
+    // The size the materialized path cannot hold: streaming only.
+    loopir::LoopNest big = c.make(c.streaming_n);
+    trans::TransformPlan big_plan =
+        trans::plan_transform(dep::compute_pdm(big));
+    emit_skipped(c.name, hw, c.streaming_n,
+                 materialized_bytes(big.iteration_count(), big.depth()));
+    run_streaming(c.name, big, big_plan, hw, c.streaming_n);
+  }
+  return 0;
+}

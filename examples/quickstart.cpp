@@ -29,7 +29,9 @@ enddo
   vdep::core::PdmParallelizer parallelizer;
   vdep::ThreadPool pool(4);
   // analyze + run sequential and parallel executions, throwing if they
-  // disagree in a single array element.
+  // disagree in a single array element. Execution goes through the
+  // streaming runtime (ExecMode::Streaming, the default): work-stealing
+  // descriptors scanned on the fly, nothing materialized.
   vdep::core::Report report = parallelizer.parallelize_and_check(nest, pool);
 
   std::cout << report.summary() << "\n";

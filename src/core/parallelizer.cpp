@@ -39,6 +39,10 @@ std::string Report::summary() const {
     os << "measured: " << work_items << " independent work items, longest "
        << max_item << " of " << total_iterations << " iterations\n";
   }
+  if (runtime_tasks > 0) {
+    os << "streaming run: " << runtime_tasks << " descriptor(s), "
+       << runtime_steals << " steal(s)\n";
+  }
   os << "-- transformed nest --\n" << transformed.nest.to_string();
   return os.str();
 }
@@ -56,10 +60,12 @@ Report PdmParallelizer::analyze(const loopir::LoopNest& nest) const {
   r.partition_classes = r.plan.partition_classes;
 
   if (opts_.measure) {
-    exec::Schedule sched = exec::build_schedule(nest, r.plan);
-    r.work_items = sched.parallelism();
-    r.max_item = sched.max_item_size();
-    r.total_iterations = sched.total_iterations();
+    // Counting scan, not a materialized schedule: O(1) memory, so the
+    // measurement never undercuts the streaming executor's footprint.
+    exec::RunStats ms = exec::measure_schedule(nest, r.plan);
+    r.work_items = ms.work_items;
+    r.max_item = ms.max_item;
+    r.total_iterations = ms.iterations;
   }
   if (opts_.emit_c) {
     codegen::EmitOptions eo;
@@ -77,7 +83,16 @@ Report PdmParallelizer::parallelize_and_check(const loopir::LoopNest& nest,
   ref.fill_pattern();
   exec::ArrayStore par = ref;
   exec::run_sequential(nest, ref);
-  exec::run_parallel(nest, r.plan, par, pool);
+  if (opts_.exec_mode == ExecMode::Streaming) {
+    runtime::StreamOptions ro;
+    ro.num_threads = pool.size();
+    runtime::StreamExecutor ex(nest, r.plan, ro);
+    runtime::RuntimeStats rs = ex.run(par, pool);  // reuse the caller's pool
+    r.runtime_tasks = rs.total_tasks();
+    r.runtime_steals = rs.total_steals();
+  } else {
+    exec::run_parallel(nest, r.plan, par, pool);
+  }
   VDEP_CHECK(ref == par,
              "parallel execution diverged from the sequential reference");
   return r;

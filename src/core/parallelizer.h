@@ -14,6 +14,7 @@
 #include "baselines/baseline.h"
 #include "codegen/emit_c.h"
 #include "exec/runner.h"
+#include "runtime/stream_executor.h"
 
 namespace vdep::core {
 
@@ -40,6 +41,11 @@ struct Report {
   i64 max_item = 0;
   i64 total_iterations = 0;
 
+  /// Streaming-run counters (populated by parallelize_and_check when
+  /// Options::exec_mode == ExecMode::Streaming).
+  i64 runtime_tasks = 0;
+  i64 runtime_steals = 0;
+
   /// Generated sources (empty when Options::emit_c is false).
   std::string c_original;
   std::string c_transformed;
@@ -48,12 +54,23 @@ struct Report {
   std::string summary() const;
 };
 
+/// How parallelize_and_check executes the plan.
+///
+///   Materialized — exec::build_schedule stores every iteration vector of
+///                  every work item, then replays on a ThreadPool;
+///                  O(total iterations x depth) schedule memory.
+///   Streaming    — runtime::StreamExecutor walks descriptors through the
+///                  Partitioning scan recurrence with work stealing;
+///                  O(active descriptors) schedule memory. The default.
+enum class ExecMode { Materialized, Streaming };
+
 class PdmParallelizer {
  public:
   struct Options {
     bool emit_c = true;       ///< generate C sources in the report
     bool openmp = true;       ///< annotate generated C with omp pragmas
-    bool measure = true;      ///< build the schedule to measure parallelism
+    bool measure = true;  ///< measure parallelism (counting scan, O(1) mem)
+    ExecMode exec_mode = ExecMode::Streaming;  ///< execution path
   };
 
   PdmParallelizer() = default;

@@ -63,38 +63,67 @@ void enumerate_tail(const loopir::LoopNest& nest, int start, int k, Vec& iter,
   iter[static_cast<std::size_t>(k)] = 0;
 }
 
-}  // namespace
+using IterFn = std::function<void(const Vec&)>;
+/// Streams one (prefix x class) unit's transformed points, in order,
+/// through the function it is given.
+using UnitRunner = std::function<void(const IterFn&)>;
 
-Schedule build_schedule(const loopir::LoopNest& original,
-                        const trans::TransformPlan& plan) {
-  codegen::TransformedNest tn = codegen::rewrite_nest(original, plan);
-  const loopir::LoopNest& nest = tn.nest;
+// Single source of truth for the schedule's unit structure: invokes `unit`
+// once per (outer DOALL prefix) x (partition class) combination of `nest`
+// (the *transformed* nest); the consumer decides whether to materialize,
+// count, or drop each unit. build_schedule and measure_schedule must agree
+// on this enumeration, so they both go through here.
+void for_each_unit(const loopir::LoopNest& nest,
+                   const trans::TransformPlan& plan,
+                   const std::function<void(const UnitRunner&)>& unit) {
   int n = nest.depth();
   int nd = plan.num_doall;
-
-  Schedule sched;
   Vec iter(static_cast<std::size_t>(n), 0);
   enumerate_prefix(nest, nd, 0, iter, [&](Vec& prefix_iter) {
     if (plan.partition.has_value()) {
       const trans::Partitioning& part = *plan.partition;
       VDEP_CHECK(nd + part.dim() == n, "plan shape inconsistent");
       for (i64 id = 0; id < part.num_classes(); ++id) {
-        std::vector<Vec> item;
-        part.for_each_class_iteration_from(
-            nest, nd, part.class_label(id), prefix_iter, [&](const Vec& j) {
-              item.push_back(tn.original_iteration(j));
-            });
-        if (!item.empty()) sched.items.push_back(std::move(item));
+        unit([&](const IterFn& fn) {
+          part.for_each_class_iteration_from(nest, nd, part.class_label(id),
+                                             prefix_iter, fn);
+        });
       }
     } else {
-      std::vector<Vec> item;
-      enumerate_tail(nest, nd, nd, prefix_iter, [&](const Vec& j) {
-        item.push_back(tn.original_iteration(j));
+      unit([&](const IterFn& fn) {
+        enumerate_tail(nest, nd, nd, prefix_iter, fn);
       });
-      if (!item.empty()) sched.items.push_back(std::move(item));
     }
   });
+}
+
+}  // namespace
+
+Schedule build_schedule(const loopir::LoopNest& original,
+                        const trans::TransformPlan& plan) {
+  codegen::TransformedNest tn = codegen::rewrite_nest(original, plan);
+  Schedule sched;
+  for_each_unit(tn.nest, plan, [&](const UnitRunner& run) {
+    std::vector<Vec> item;
+    run([&](const Vec& j) { item.push_back(tn.original_iteration(j)); });
+    if (!item.empty()) sched.items.push_back(std::move(item));
+  });
   return sched;
+}
+
+RunStats measure_schedule(const loopir::LoopNest& original,
+                          const trans::TransformPlan& plan) {
+  codegen::TransformedNest tn = codegen::rewrite_nest(original, plan);
+  RunStats stats;
+  for_each_unit(tn.nest, plan, [&](const UnitRunner& run) {
+    i64 unit = 0;
+    run([&](const Vec&) { ++unit; });
+    if (unit == 0) return;  // empty combos are dropped, as in build_schedule
+    ++stats.work_items;
+    stats.iterations += unit;
+    stats.max_item = std::max(stats.max_item, unit);
+  });
+  return stats;
 }
 
 RunStats run_parallel(const loopir::LoopNest& original,

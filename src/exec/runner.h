@@ -9,6 +9,13 @@
 //
 // Items are executed on a ThreadPool; the final store must equal the
 // sequential reference execution bit for bit.
+//
+// This is the *materialized* path: build_schedule stores every iteration
+// vector of every item — O(total_iterations x depth) memory — which is
+// what exec::verify_schedule needs to inspect a schedule structurally.
+// For actually running large spaces prefer runtime::StreamExecutor
+// (runtime/stream_executor.h), which covers the same work-item rectangle
+// with O(active descriptors) state and work stealing.
 #pragma once
 
 #include "codegen/rewrite.h"
@@ -38,6 +45,12 @@ struct RunStats {
   i64 iterations = 0;
   i64 max_item = 0;
 };
+
+/// Same counts build_schedule + Schedule accessors would report (nonempty
+/// work items, total iterations, longest item) but computed by scanning,
+/// O(1) memory — safe at sizes where materializing the schedule is not.
+RunStats measure_schedule(const loopir::LoopNest& original,
+                          const trans::TransformPlan& plan);
 
 /// Executes `plan` over the original nest semantics using `pool`.
 RunStats run_parallel(const loopir::LoopNest& original,

@@ -1,0 +1,51 @@
+#include "runtime/stats.h"
+
+#include <sstream>
+
+namespace vdep::runtime {
+
+i64 RuntimeStats::total_tasks() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.tasks;
+  return n;
+}
+
+i64 RuntimeStats::total_splits() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.splits;
+  return n;
+}
+
+i64 RuntimeStats::total_steals() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.steals;
+  return n;
+}
+
+i64 RuntimeStats::total_iterations() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.iterations;
+  return n;
+}
+
+i64 RuntimeStats::max_busy_ns() const {
+  i64 m = 0;
+  for (const WorkerStats& w : workers) m = std::max(m, w.busy_ns);
+  return m;
+}
+
+std::string RuntimeStats::to_string() const {
+  std::ostringstream os;
+  os << "worker  tasks  splits  steals  iterations  busy_ms\n";
+  for (std::size_t k = 0; k < workers.size(); ++k) {
+    const WorkerStats& w = workers[k];
+    os << k << "  " << w.tasks << "  " << w.splits << "  " << w.steals << "  "
+       << w.iterations << "  " << w.busy_ns / 1000000.0 << "\n";
+  }
+  os << "total  " << total_tasks() << "  " << total_splits() << "  "
+     << total_steals() << "  " << total_iterations() << "  wall_ms "
+     << wall_ns / 1000000.0 << "\n";
+  return os.str();
+}
+
+}  // namespace vdep::runtime

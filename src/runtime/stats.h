@@ -1,0 +1,45 @@
+// Execution counters of the streaming runtime.
+//
+// Every worker owns one WorkerStats and mutates it without synchronization;
+// the executor aggregates after joining, so readers only ever see quiescent
+// values. The aggregate view (RuntimeStats) is what benches and the
+// parallelizer report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/checked.h"
+
+namespace vdep::runtime {
+
+using i64 = checked::i64;
+
+/// Private counters of one worker thread (no atomics: single writer, read
+/// only after the worker joined). Padded to a cache line so adjacent
+/// workers' counters never share one.
+struct alignas(64) WorkerStats {
+  i64 tasks = 0;       ///< leaf descriptors executed to completion
+  i64 splits = 0;      ///< descriptors divided and re-enqueued
+  i64 steals = 0;      ///< successful steals from another worker's deque
+  i64 iterations = 0;  ///< loop-body iterations executed
+  i64 busy_ns = 0;     ///< wall time spent inside descriptor execution
+};
+
+/// Aggregated run outcome.
+struct RuntimeStats {
+  std::vector<WorkerStats> workers;
+  i64 wall_ns = 0;  ///< makespan of the whole run (seed to last join)
+
+  i64 total_tasks() const;
+  i64 total_splits() const;
+  i64 total_steals() const;
+  i64 total_iterations() const;
+  /// Max over workers of busy_ns — the critical-path estimate.
+  i64 max_busy_ns() const;
+
+  /// Multi-line human-readable table (one row per worker + totals).
+  std::string to_string() const;
+};
+
+}  // namespace vdep::runtime

@@ -1,0 +1,306 @@
+#include "runtime/stream_executor.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "exec/compiled.h"
+#include "exec/interpreter.h"
+#include "runtime/work_queue.h"
+#include "support/error.h"
+
+namespace vdep::runtime {
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-thread execution context: the scan cursor, the map-back buffer and
+/// the iteration body, bundled so the recursive scans touch one object.
+struct StreamExecutor::Worker {
+  int id = 0;
+  WorkerStats* stats = nullptr;
+  Vec j;     ///< transformed iteration being scanned
+  Vec orig;  ///< original iteration (map-back target when T != I)
+  std::function<void(const Vec&)> body;    ///< runs one original iteration
+  std::function<void(const Vec&)> emit_j;  ///< scan callback over j
+};
+
+StreamExecutor::StreamExecutor(const loopir::LoopNest& original,
+                               const trans::TransformPlan& plan,
+                               StreamOptions opts)
+    : original_(original),
+      tn_(codegen::rewrite_nest(original, plan)),
+      part_(plan.partition),
+      opts_(opts),
+      depth_(original.depth()),
+      num_doall_(plan.num_doall),
+      identity_(plan.is_identity_transform()) {
+  VDEP_REQUIRE(plan.depth == depth_, "plan depth / nest depth mismatch");
+  if (part_) {
+    VDEP_CHECK(num_doall_ + part_->dim() == depth_,
+               "plan shape inconsistent: DOALL prefix + partition block must "
+               "cover the nest");
+    classes_ = part_->num_classes();
+  }
+  threads_ = opts_.num_threads != 0
+                 ? opts_.num_threads
+                 : std::max(1u, std::thread::hardware_concurrency());
+  if (opts_.grain > 0) {
+    grain_ = opts_.grain;
+  } else {
+    TaskDescriptor rt = root();
+    grain_ = pick_grain(std::max<i64>(rt.outer_extent(), 1), threads_,
+                        std::max<i64>(opts_.tasks_per_worker, 1));
+  }
+}
+
+TaskDescriptor StreamExecutor::root() const {
+  TaskDescriptor rt;
+  rt.class_lo = 0;
+  rt.class_hi = classes_;
+  if (has_outer()) {
+    // The outermost transformed loop's bounds are constants (bounds only
+    // reference enclosing levels, of which there are none).
+    Vec zero(static_cast<std::size_t>(depth_), 0);
+    rt.outer_lo = tn_.nest.level(0).lower.eval_lower(zero);
+    rt.outer_hi = tn_.nest.level(0).upper.eval_upper(zero);
+  }
+  return rt;
+}
+
+void StreamExecutor::emit(Worker& w) const {
+  ++w.stats->iterations;
+  if (identity_) {
+    w.body(w.j);
+    return;
+  }
+  // orig = j * T^{-1}, into the preallocated buffer (vec_mat_mul would
+  // allocate per iteration). Plain arithmetic: the transformed polytope is
+  // a bijective image of the original box, whose coordinates fit i64 by
+  // construction.
+  const intlin::Mat& m = tn_.t_inverse;
+  for (int c = 0; c < depth_; ++c) {
+    i64 acc = 0;
+    for (int r = 0; r < depth_; ++r)
+      acc += w.j[static_cast<std::size_t>(r)] * m.at(r, c);
+    w.orig[static_cast<std::size_t>(c)] = acc;
+  }
+  w.body(w.orig);
+}
+
+void StreamExecutor::scan_tail(int level, Worker& w) const {
+  if (level == depth_) {
+    emit(w);
+    return;
+  }
+  const loopir::Level& l = tn_.nest.level(level);
+  i64 lo = l.lower.eval_lower(w.j);
+  i64 hi = l.upper.eval_upper(w.j);
+  for (i64 v = lo; v <= hi; ++v) {
+    w.j[static_cast<std::size_t>(level)] = v;
+    scan_tail(level + 1, w);
+  }
+  w.j[static_cast<std::size_t>(level)] = 0;
+}
+
+void StreamExecutor::scan_prefix(int level, const TaskDescriptor& task,
+                                 Worker& w) const {
+  if (level == num_doall_) {
+    for (i64 c = task.class_lo; c < task.class_hi; ++c) {
+      if (part_) {
+        Vec label = part_->class_label(c);
+        part_->for_each_class_iteration_from(tn_.nest, num_doall_, label, w.j,
+                                             w.emit_j);
+      } else {
+        scan_tail(num_doall_, w);
+      }
+    }
+    return;
+  }
+  const loopir::Level& l = tn_.nest.level(level);
+  i64 lo = l.lower.eval_lower(w.j);
+  i64 hi = l.upper.eval_upper(w.j);
+  for (i64 v = lo; v <= hi; ++v) {
+    w.j[static_cast<std::size_t>(level)] = v;
+    scan_prefix(level + 1, task, w);
+  }
+  w.j[static_cast<std::size_t>(level)] = 0;
+}
+
+void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
+  if (has_outer()) {
+    for (i64 v = task.outer_lo; v <= task.outer_hi; ++v) {
+      w.j[0] = v;
+      scan_prefix(1, task, w);
+    }
+    w.j[0] = 0;
+  } else {
+    scan_prefix(0, task, w);
+  }
+}
+
+RuntimeStats StreamExecutor::drive(
+    const std::function<std::function<void(const Vec&)>(int)>& body_factory,
+    ThreadPool* pool) const {
+  RuntimeStats out;
+  out.workers.resize(threads_);
+  TaskDescriptor rt = root();
+  if (rt.outer_extent() <= 0 || rt.class_extent() <= 0) return out;
+
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques;
+  deques.reserve(threads_);
+  for (std::size_t k = 0; k < threads_; ++k)
+    deques.push_back(std::make_unique<WorkStealingDeque>());
+
+  // Tasks alive (queued or executing). Seeded before any worker starts;
+  // thread creation publishes the push below to every worker.
+  std::atomic<i64> pending{1};
+  deques[0]->push(rt);
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const int n = static_cast<int>(threads_);
+  auto worker_main = [&](int id) {
+    Worker w;
+    w.id = id;
+    w.stats = &out.workers[static_cast<std::size_t>(id)];
+    w.j.assign(static_cast<std::size_t>(depth_), 0);
+    w.orig.assign(static_cast<std::size_t>(depth_), 0);
+    w.body = body_factory(id);
+    w.emit_j = [this, &w](const Vec&) { emit(w); };
+
+    auto process = [&](TaskDescriptor task) {
+      i64 t0 = now_ns();
+      try {
+        // Split depth-first: push the large high halves (stolen first),
+        // keep refining the low half until it is a leaf, run it.
+        while (can_split(task, grain_, has_outer())) {
+          TaskDescriptor high = split(task, grain_, has_outer());
+          pending.fetch_add(1, std::memory_order_relaxed);
+          deques[static_cast<std::size_t>(w.id)]->push(high);
+          ++w.stats->splits;
+        }
+        execute_leaf(task, w);
+        ++w.stats->tasks;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_release);
+      }
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+      w.stats->busy_ns += now_ns() - t0;
+    };
+
+    int idle_sweeps = 0;
+    for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
+      TaskDescriptor task;
+      if (deques[static_cast<std::size_t>(id)]->pop(task)) {
+        process(task);
+        idle_sweeps = 0;
+        continue;
+      }
+      if (pending.load(std::memory_order_acquire) == 0) return;
+      bool stolen = false;
+      for (int k = 1; k < n && !stolen; ++k) {
+        std::size_t victim = static_cast<std::size_t>((id + k) % n);
+        if (deques[victim]->steal(task)) {
+          ++w.stats->steals;
+          stolen = true;
+        }
+      }
+      if (stolen) {
+        process(task);
+        idle_sweeps = 0;
+      } else if (++idle_sweeps < 16) {
+        std::this_thread::yield();
+      } else {
+        // Nothing stealable for a while (e.g. one unsplittable descriptor
+        // left): back off instead of burning a core per idle worker.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(50 * (idle_sweeps - 15), 1000)));
+      }
+    }
+  };
+
+  i64 t0 = now_ns();
+  if (pool) {
+    // One chunk per worker context; pool threads plus the caller claim
+    // them. A pool smaller than threads_ just runs some contexts after
+    // others finished (they see pending == 0 and return immediately).
+    pool->parallel_for(static_cast<i64>(threads_),
+                       [&](i64 id) { worker_main(static_cast<int>(id)); });
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads_ - 1);
+    for (int k = 1; k < n; ++k) workers.emplace_back(worker_main, k);
+    worker_main(0);  // the calling thread is worker 0
+    for (std::thread& t : workers) t.join();
+  }
+  out.wall_ns = now_ns() - t0;
+
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+RuntimeStats StreamExecutor::run_impl(exec::ArrayStore& store,
+                                      ThreadPool* pool) const {
+  std::optional<exec::CompiledKernel> kernel;
+  if (!opts_.force_interpreter) {
+    try {
+      kernel.emplace(original_, store);
+    } catch (const Error&) {
+      // Range proof or box extraction failed: interpret instead.
+    }
+  }
+  if (kernel) {
+    const exec::CompiledKernel& k = *kernel;
+    return drive(
+        [&k](int) -> std::function<void(const Vec&)> {
+          auto scratch = std::make_shared<exec::CompiledKernel::Scratch>(
+              k.make_scratch());
+          return [&k, scratch](const Vec& it) {
+            k.execute_iteration(it, *scratch);
+          };
+        },
+        pool);
+  }
+  return drive(
+      [this, &store](int) -> std::function<void(const Vec&)> {
+        return [this, &store](const Vec& it) {
+          exec::execute_iteration(original_, it, store);
+        };
+      },
+      pool);
+}
+
+RuntimeStats StreamExecutor::run(exec::ArrayStore& store) const {
+  return run_impl(store, nullptr);
+}
+
+RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
+                                 ThreadPool& pool) const {
+  return run_impl(store, &pool);
+}
+
+RuntimeStats StreamExecutor::run_trace(
+    const std::function<void(int, const Vec&)>& sink) const {
+  return drive(
+      [&sink](int id) -> std::function<void(const Vec&)> {
+        return [&sink, id](const Vec& it) { sink(id, it); };
+      },
+      nullptr);
+}
+
+}  // namespace vdep::runtime

@@ -1,0 +1,101 @@
+// Streaming execution of a TransformPlan: work-stealing over descriptors,
+// iterations regenerated on the fly.
+//
+// The materialized path (exec::build_schedule + ThreadPool) first stores
+// every iteration vector of every work item — O(total iterations x depth)
+// memory and build time — then replays them through a single mutex queue.
+// The StreamExecutor never builds that list. The root TaskDescriptor covers
+// the whole (outermost DOALL range) x (partition class) rectangle; workers
+// split it recursively (task.h) into leaves held in Chase-Lev deques
+// (work_queue.h), and each leaf *scans* its iterations directly from the
+// Partitioning class recurrence (trans::Partitioning, the paper's loop
+// (3.2)) or the plain transformed bounds. Peak schedule state is O(active
+// descriptors): a few dozen 32-byte rectangles, independent of the
+// iteration count.
+//
+// Loop bodies run through a shared exec::CompiledKernel with one Scratch
+// per worker; nests the kernel's one-time range proof rejects fall back to
+// the exact interpreter. Both modes produce final stores bit-identical to
+// the sequential reference — legality is the same Lemma 1 x Theorem 2
+// argument as the materialized schedule, only the cover of the rectangle
+// changed.
+#pragma once
+
+#include <functional>
+
+#include "codegen/rewrite.h"
+#include "exec/array_store.h"
+#include "runtime/stats.h"
+#include "runtime/task.h"
+#include "support/thread_pool.h"
+
+namespace vdep::runtime {
+
+using intlin::Vec;
+
+struct StreamOptions {
+  /// Worker count; 0 means hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Outer-dimension chunk grain; 0 picks ~tasks_per_worker leaves per
+  /// worker (task.h pick_grain).
+  i64 grain = 0;
+  /// Target leaf descriptors per worker for the automatic grain.
+  i64 tasks_per_worker = 8;
+  /// Skip the compiled kernel and always interpret (tests / debugging).
+  bool force_interpreter = false;
+};
+
+class StreamExecutor {
+ public:
+  /// `plan` must come from trans::plan_transform on `original`'s PDM (or
+  /// be otherwise legal for it); legality is not re-checked here.
+  StreamExecutor(const loopir::LoopNest& original,
+                 const trans::TransformPlan& plan, StreamOptions opts = {});
+
+  /// Runs the whole plan over `store` and returns the worker counters.
+  /// Spawns num_threads() - 1 helper threads; the caller is worker 0.
+  RuntimeStats run(exec::ArrayStore& store) const;
+
+  /// Same, but the workers are `pool`'s threads (plus the caller) instead
+  /// of freshly spawned ones — use when a long-lived pool already exists.
+  /// num_threads() worker contexts are distributed over the pool.
+  RuntimeStats run(exec::ArrayStore& store, ThreadPool& pool) const;
+
+  /// Test/diagnostic mode: streams every *original* iteration in execution
+  /// order to `sink(worker, iter)` instead of mutating a store. The sink
+  /// must be safe to call concurrently for distinct workers.
+  RuntimeStats run_trace(
+      const std::function<void(int, const Vec&)>& sink) const;
+
+  /// The root descriptor covering the full iteration space.
+  TaskDescriptor root() const;
+  /// Whether the plan has an outer DOALL dimension to chunk along.
+  bool has_outer() const { return num_doall_ > 0; }
+  i64 grain() const { return grain_; }
+  i64 num_classes() const { return classes_; }
+  std::size_t num_threads() const { return threads_; }
+
+ private:
+  struct Worker;
+  RuntimeStats run_impl(exec::ArrayStore& store, ThreadPool* pool) const;
+  RuntimeStats drive(
+      const std::function<std::function<void(const Vec&)>(int)>& body_factory,
+      ThreadPool* pool) const;
+  void execute_leaf(const TaskDescriptor& task, Worker& w) const;
+  void scan_prefix(int level, const TaskDescriptor& task, Worker& w) const;
+  void scan_tail(int level, Worker& w) const;
+  void emit(Worker& w) const;
+
+  loopir::LoopNest original_;
+  codegen::TransformedNest tn_;
+  std::optional<trans::Partitioning> part_;
+  StreamOptions opts_;
+  std::size_t threads_ = 1;
+  int depth_ = 0;
+  int num_doall_ = 0;
+  i64 classes_ = 1;
+  bool identity_ = true;  ///< T == I: transformed coords are original coords
+  i64 grain_ = 1;
+};
+
+}  // namespace vdep::runtime

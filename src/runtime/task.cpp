@@ -1,0 +1,42 @@
+#include "runtime/task.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::runtime {
+
+std::string TaskDescriptor::to_string() const {
+  std::ostringstream os;
+  os << "task{outer [" << outer_lo << ", " << outer_hi << "], classes ["
+     << class_lo << ", " << class_hi << ")}";
+  return os.str();
+}
+
+bool can_split(const TaskDescriptor& t, i64 grain, bool has_outer) {
+  if (has_outer && t.outer_extent() > std::max<i64>(grain, 1)) return true;
+  return t.class_extent() > 1;
+}
+
+TaskDescriptor split(TaskDescriptor& t, i64 grain, bool has_outer) {
+  VDEP_CHECK(can_split(t, grain, has_outer), "descriptor is not splittable");
+  TaskDescriptor high = t;
+  if (has_outer && t.outer_extent() > std::max<i64>(grain, 1)) {
+    i64 mid = t.outer_lo + (t.outer_extent() / 2);  // low half gets [lo, mid)
+    t.outer_hi = mid - 1;
+    high.outer_lo = mid;
+  } else {
+    i64 mid = t.class_lo + (t.class_extent() / 2);
+    t.class_hi = mid;
+    high.class_lo = mid;
+  }
+  return high;
+}
+
+i64 pick_grain(i64 outer_extent, std::size_t workers, i64 tasks_per_worker) {
+  i64 target = std::max<i64>(1, static_cast<i64>(workers) * tasks_per_worker);
+  return std::max<i64>(1, outer_extent / target);
+}
+
+}  // namespace vdep::runtime

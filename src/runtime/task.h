@@ -1,0 +1,64 @@
+// Work descriptors of the streaming runtime.
+//
+// The materialized path (exec::build_schedule) stores every iteration vector
+// of every work item. Here a work item is a *descriptor* of what to run, not
+// the iterations themselves: a rectangle
+//
+//     [outer_lo, outer_hi]  x  [class_lo, class_hi)
+//
+// over the outermost DOALL index of the transformed nest and the partition
+// class ids of Theorem 2. Each (outer value, inner DOALL prefix, class)
+// triple is an independent sequential unit (Lemma 1 x Theorem 2), so any
+// disjoint cover of the rectangle is a legal task decomposition. The
+// iterations of a unit are never stored: the executor regenerates them from
+// the Partitioning scan recurrence (loop (3.2)) on the fly, which makes the
+// schedule memory O(active descriptors) instead of O(total iterations).
+//
+// Splitting prefers the outermost free (DOALL) dimension — halving
+// [outer_lo, outer_hi] — and falls back to halving the class range when a
+// single outer value still spans several classes. Descriptors below the
+// grain execute as leaves.
+#pragma once
+
+#include <string>
+
+#include "support/checked.h"
+
+namespace vdep::runtime {
+
+using i64 = checked::i64;
+
+struct TaskDescriptor {
+  /// Inclusive range of the outermost transformed DOALL index. When the
+  /// plan has no DOALL loop the range is the degenerate [0, 0] and is
+  /// never split.
+  i64 outer_lo = 0;
+  i64 outer_hi = 0;
+  /// Half-open range of partition class ids ([0, 1) when unpartitioned).
+  i64 class_lo = 0;
+  i64 class_hi = 1;
+
+  i64 outer_extent() const { return outer_hi - outer_lo + 1; }
+  i64 class_extent() const { return class_hi - class_lo; }
+  /// Number of (outer value x class) cells covered.
+  i64 cells() const { return checked::mul(outer_extent(), class_extent()); }
+
+  std::string to_string() const;
+};
+
+/// Splitting policy: a descriptor may split when its outer range is longer
+/// than `grain` values, or — once per-value — when it still covers more
+/// than one class. `has_outer` is false for plans without DOALL loops
+/// (the degenerate outer range must not be halved).
+bool can_split(const TaskDescriptor& t, i64 grain, bool has_outer);
+
+/// Divides `t` in two along the preferred dimension (outer first, classes
+/// second). `t` keeps the low half; the returned descriptor is the high
+/// half. Requires can_split(t, grain, has_outer).
+TaskDescriptor split(TaskDescriptor& t, i64 grain, bool has_outer);
+
+/// Grain heuristic: aim for ~`tasks_per_worker` leaf descriptors per worker
+/// along the outer dimension, never below 1.
+i64 pick_grain(i64 outer_extent, std::size_t workers, i64 tasks_per_worker);
+
+}  // namespace vdep::runtime

@@ -1,0 +1,106 @@
+#include "runtime/work_queue.h"
+
+#include "support/error.h"
+
+namespace vdep::runtime {
+
+WorkStealingDeque::Buffer::Buffer(i64 cap)
+    : capacity(cap),
+      mask(cap - 1),
+      slots(new std::atomic<TaskDescriptor*>[static_cast<std::size_t>(cap)]) {
+  VDEP_REQUIRE(cap > 0 && (cap & (cap - 1)) == 0,
+               "deque capacity must be a power of two");
+  for (i64 i = 0; i < cap; ++i)
+    slots[static_cast<std::size_t>(i)].store(nullptr,
+                                             std::memory_order_relaxed);
+}
+
+WorkStealingDeque::WorkStealingDeque(i64 initial_capacity) {
+  buffers_.push_back(std::make_unique<Buffer>(initial_capacity));
+  buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+}
+
+WorkStealingDeque::~WorkStealingDeque() {
+  // Free any descriptors never consumed (the executor normally drains the
+  // deque; this covers exception unwinding).
+  i64 t = top_.load(std::memory_order_relaxed);
+  i64 b = bottom_.load(std::memory_order_relaxed);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  for (i64 i = t; i < b; ++i) delete buf->get(i);
+}
+
+void WorkStealingDeque::push(const TaskDescriptor& task) {
+  TaskDescriptor* node = new TaskDescriptor(task);
+  i64 b = bottom_.load(std::memory_order_relaxed);
+  i64 t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t > buf->capacity - 1) buf = grow(buf, b, t);
+  buf->put(b, node);
+  // Release store (not a fence + relaxed store): this is the edge that
+  // publishes the node's contents to thieves, and ThreadSanitizer does not
+  // model fences — the operation itself must carry the ordering.
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+bool WorkStealingDeque::pop(TaskDescriptor& out) {
+  i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  i64 t = top_.load(std::memory_order_relaxed);
+  if (t > b) {  // empty: restore
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  TaskDescriptor* node = buf->get(b);
+  if (t == b) {
+    // Last element: race thieves for it through `top`.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  out = *node;
+  delete node;
+  return true;
+}
+
+bool WorkStealingDeque::steal(TaskDescriptor& out) {
+  i64 t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  i64 b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return false;  // empty
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  TaskDescriptor* node = buf->get(t);
+  // Claim index t before touching *node: the winner of the CAS is the
+  // unique consumer of the slot, so only then is the dereference safe (a
+  // pre-CAS read could hit a node the owner already popped and freed).
+  // Visibility of the contents comes from the acquire load of `bottom`
+  // above pairing with the release store in push().
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return false;  // lost the race; retry is the caller's policy
+  out = *node;
+  delete node;
+  return true;
+}
+
+i64 WorkStealingDeque::size_estimate() const {
+  i64 b = bottom_.load(std::memory_order_relaxed);
+  i64 t = top_.load(std::memory_order_relaxed);
+  return b > t ? b - t : 0;
+}
+
+WorkStealingDeque::Buffer* WorkStealingDeque::grow(Buffer* old, i64 bottom,
+                                                   i64 top) {
+  auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+  for (i64 i = top; i < bottom; ++i) bigger->put(i, old->get(i));
+  Buffer* raw = bigger.get();
+  buffers_.push_back(std::move(bigger));
+  buffer_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+}  // namespace vdep::runtime

@@ -1,0 +1,336 @@
+// Tests for the streaming runtime: the Chase-Lev deque, the descriptor
+// splitting policy, and end-to-end semantics of the StreamExecutor against
+// the sequential reference over the whole paper suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/parallelizer.h"
+#include "core/suite.h"
+#include "dep/pdm.h"
+#include "exec/interpreter.h"
+#include "runtime/stream_executor.h"
+#include "runtime/work_queue.h"
+#include "trans/planner.h"
+
+namespace vdep::runtime {
+namespace {
+
+using intlin::i64;
+using intlin::Vec;
+
+trans::TransformPlan plan_for(const loopir::LoopNest& nest) {
+  return trans::plan_transform(dep::compute_pdm(nest));
+}
+
+TaskDescriptor task(i64 olo, i64 ohi, i64 clo, i64 chi) {
+  TaskDescriptor t;
+  t.outer_lo = olo;
+  t.outer_hi = ohi;
+  t.class_lo = clo;
+  t.class_hi = chi;
+  return t;
+}
+
+// ------------------------------------------------------------- work queue
+
+TEST(WorkQueue, OwnerPopIsLifo) {
+  WorkStealingDeque q;
+  for (i64 k = 0; k < 10; ++k) q.push(task(k, k, 0, 1));
+  TaskDescriptor t;
+  for (i64 k = 9; k >= 0; --k) {
+    ASSERT_TRUE(q.pop(t));
+    EXPECT_EQ(t.outer_lo, k);
+  }
+  EXPECT_FALSE(q.pop(t));
+}
+
+TEST(WorkQueue, StealIsFifo) {
+  WorkStealingDeque q;
+  for (i64 k = 0; k < 10; ++k) q.push(task(k, k, 0, 1));
+  TaskDescriptor t;
+  for (i64 k = 0; k < 10; ++k) {
+    ASSERT_TRUE(q.steal(t));
+    EXPECT_EQ(t.outer_lo, k);
+  }
+  EXPECT_FALSE(q.steal(t));
+}
+
+TEST(WorkQueue, GrowsPastInitialCapacity) {
+  WorkStealingDeque q(2);
+  for (i64 k = 0; k < 1000; ++k) q.push(task(k, k, 0, 1));
+  EXPECT_EQ(q.size_estimate(), 1000);
+  TaskDescriptor t;
+  for (i64 k = 999; k >= 0; --k) {
+    ASSERT_TRUE(q.pop(t));
+    EXPECT_EQ(t.outer_lo, k);
+  }
+}
+
+TEST(WorkQueue, ConcurrentStealsConsumeEachTaskOnce) {
+  // One owner interleaves pushes and pops; thieves hammer steal. Every id
+  // pushed must be consumed exactly once across all parties.
+  constexpr i64 kTasks = 20000;
+  constexpr int kThieves = 4;
+  WorkStealingDeque q(8);
+  std::vector<std::atomic<int>> seen(kTasks);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+
+  auto consume = [&](const TaskDescriptor& t) {
+    seen[static_cast<std::size_t>(t.outer_lo)].fetch_add(1);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int k = 0; k < kThieves; ++k) {
+    thieves.emplace_back([&] {
+      TaskDescriptor t;
+      while (!done.load(std::memory_order_acquire)) {
+        if (q.steal(t)) consume(t);
+      }
+      while (q.steal(t)) consume(t);  // drain the tail
+    });
+  }
+
+  TaskDescriptor t;
+  for (i64 k = 0; k < kTasks; ++k) {
+    q.push(task(k, k, 0, 1));
+    if (k % 3 == 0 && q.pop(t)) consume(t);
+  }
+  while (q.pop(t)) consume(t);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (i64 k = 0; k < kTasks; ++k)
+    ASSERT_EQ(seen[static_cast<std::size_t>(k)].load(), 1) << "task " << k;
+}
+
+// ----------------------------------------------------------- descriptors
+
+// Recursively splits like a worker would and collects the leaves.
+void collect_leaves(TaskDescriptor t, i64 grain, bool has_outer,
+                    std::vector<TaskDescriptor>& out) {
+  while (can_split(t, grain, has_outer)) {
+    TaskDescriptor high = split(t, grain, has_outer);
+    collect_leaves(high, grain, has_outer, out);
+  }
+  out.push_back(t);
+}
+
+TEST(TaskSplit, LeavesCoverRootExactlyOnce) {
+  for (i64 grain : {1, 3, 7, 100}) {
+    TaskDescriptor root = task(-17, 41, 0, 6);
+    std::vector<TaskDescriptor> leaves;
+    collect_leaves(root, grain, /*has_outer=*/true, leaves);
+    // Every (outer value, class) cell of the rectangle exactly once.
+    std::vector<std::pair<i64, i64>> cells;
+    for (const TaskDescriptor& l : leaves) {
+      EXPECT_LE(l.outer_lo, l.outer_hi);
+      EXPECT_LT(l.class_lo, l.class_hi);
+      for (i64 v = l.outer_lo; v <= l.outer_hi; ++v)
+        for (i64 c = l.class_lo; c < l.class_hi; ++c) cells.push_back({v, c});
+    }
+    std::sort(cells.begin(), cells.end());
+    ASSERT_EQ(std::adjacent_find(cells.begin(), cells.end()), cells.end())
+        << "duplicated cell at grain " << grain;
+    ASSERT_EQ(static_cast<i64>(cells.size()), root.cells())
+        << "dropped cells at grain " << grain;
+    EXPECT_EQ(cells.front(), (std::pair<i64, i64>{-17, 0}));
+    EXPECT_EQ(cells.back(), (std::pair<i64, i64>{41, 5}));
+  }
+}
+
+TEST(TaskSplit, RespectsGrainAlongOuter) {
+  TaskDescriptor root = task(0, 1023, 0, 1);
+  std::vector<TaskDescriptor> leaves;
+  collect_leaves(root, 16, true, leaves);
+  for (const TaskDescriptor& l : leaves) {
+    EXPECT_LE(l.outer_extent(), 16);
+    EXPECT_GT(l.outer_extent(), 16 / 2 - 1);  // halving never undershoots much
+    EXPECT_EQ(l.class_extent(), 1);
+  }
+}
+
+TEST(TaskSplit, NoOuterDimensionSplitsClassesOnly) {
+  TaskDescriptor root = task(0, 0, 0, 8);
+  EXPECT_TRUE(can_split(root, 1, /*has_outer=*/false));
+  std::vector<TaskDescriptor> leaves;
+  collect_leaves(root, 1, false, leaves);
+  EXPECT_EQ(leaves.size(), 8u);
+  for (const TaskDescriptor& l : leaves) EXPECT_EQ(l.class_extent(), 1);
+}
+
+TEST(TaskSplit, SingleCellIsNotSplittable) {
+  EXPECT_FALSE(can_split(task(3, 3, 2, 3), 1, true));
+  // Without an outer dimension a multi-class range still splits.
+  EXPECT_TRUE(can_split(task(0, 7, 0, 4), 8, false));
+  EXPECT_FALSE(can_split(task(0, 7, 2, 3), 8, false));
+}
+
+// ------------------------------------------------- streaming == reference
+
+TEST(Streaming, BitIdenticalToSequentialAcrossPaperSuite) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    for (const core::NamedNest& c : core::paper_suite(6)) {
+      exec::ArrayStore ref(c.nest);
+      ref.fill_pattern();
+      exec::ArrayStore got = ref;
+      exec::run_sequential(c.nest, ref);
+
+      StreamOptions so;
+      so.num_threads = threads;
+      StreamExecutor ex(c.nest, plan_for(c.nest), so);
+      RuntimeStats rs = ex.run(got);
+      EXPECT_EQ(ref, got) << c.name << " with " << threads << " thread(s)";
+      EXPECT_EQ(rs.total_iterations(), c.nest.iteration_count()) << c.name;
+    }
+  }
+}
+
+TEST(Streaming, RunsOnACallerProvidedThreadPool) {
+  // The pool overload distributes worker contexts over existing pool
+  // threads instead of spawning fresh ones; results stay bit-identical,
+  // including when the pool is smaller than the configured worker count.
+  ThreadPool pool(2);
+  for (std::size_t contexts : {1u, 2u, 6u}) {
+    for (const core::NamedNest& c : core::paper_suite(5)) {
+      exec::ArrayStore ref(c.nest);
+      ref.fill_pattern();
+      exec::ArrayStore got = ref;
+      exec::run_sequential(c.nest, ref);
+
+      StreamOptions so;
+      so.num_threads = contexts;
+      StreamExecutor ex(c.nest, plan_for(c.nest), so);
+      RuntimeStats rs = ex.run(got, pool);
+      EXPECT_EQ(ref, got) << c.name << " with " << contexts << " context(s)";
+      EXPECT_EQ(rs.total_iterations(), c.nest.iteration_count()) << c.name;
+    }
+  }
+}
+
+TEST(Streaming, InterpreterFallbackAlsoBitIdentical) {
+  for (const core::NamedNest& c : core::paper_suite(5)) {
+    exec::ArrayStore ref(c.nest);
+    ref.fill_pattern();
+    exec::ArrayStore got = ref;
+    exec::run_sequential(c.nest, ref);
+
+    StreamOptions so;
+    so.num_threads = 2;
+    so.force_interpreter = true;
+    StreamExecutor ex(c.nest, plan_for(c.nest), so);
+    ex.run(got);
+    EXPECT_EQ(ref, got) << c.name;
+  }
+}
+
+TEST(Streaming, TraceCoversIterationSpaceExactlyOnce) {
+  for (const core::NamedNest& c : core::paper_suite(5)) {
+    StreamOptions so;
+    so.num_threads = 4;
+    so.grain = 1;  // maximal splitting: the sharpest coverage stress
+    StreamExecutor ex(c.nest, plan_for(c.nest), so);
+
+    std::mutex mu;
+    std::vector<Vec> streamed;
+    ex.run_trace([&](int, const Vec& it) {
+      std::lock_guard<std::mutex> lock(mu);
+      streamed.push_back(it);
+    });
+
+    std::vector<Vec> expected = c.nest.iterations();
+    std::sort(streamed.begin(), streamed.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(streamed, expected) << c.name;
+  }
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, TasksEqualSplitsPlusOne) {
+  // Every split turns one descriptor into two, so leaves == splits + 1.
+  for (const core::NamedNest& c : core::paper_suite(6)) {
+    for (std::size_t threads : {1u, 3u}) {
+      StreamOptions so;
+      so.num_threads = threads;
+      StreamExecutor ex(c.nest, plan_for(c.nest), so);
+      exec::ArrayStore store(c.nest);
+      store.fill_pattern();
+      RuntimeStats rs = ex.run(store);
+      if (c.nest.iteration_count() == 0) continue;
+      EXPECT_EQ(rs.total_tasks(), rs.total_splits() + 1) << c.name;
+      EXPECT_LE(rs.total_steals(), rs.total_tasks()) << c.name;
+      EXPECT_EQ(rs.total_iterations(), c.nest.iteration_count()) << c.name;
+      EXPECT_EQ(rs.workers.size(), threads);
+    }
+  }
+}
+
+TEST(Stats, SingleThreadNeverSteals) {
+  loopir::LoopNest nest = core::example42(8);
+  StreamOptions so;
+  so.num_threads = 1;
+  StreamExecutor ex(nest, plan_for(nest), so);
+  exec::ArrayStore store(nest);
+  store.fill_pattern();
+  RuntimeStats rs = ex.run(store);
+  EXPECT_EQ(rs.total_steals(), 0);
+  EXPECT_GT(rs.total_tasks(), 0);
+  EXPECT_GT(rs.wall_ns, 0);
+  EXPECT_GE(rs.max_busy_ns(), 0);
+  EXPECT_FALSE(rs.to_string().empty());
+}
+
+TEST(Stats, DescriptorCountIsIndependentOfIterationCount) {
+  // The whole point: schedule state scales with descriptors, not with the
+  // iteration space. Ten times the space must not mean ten times the tasks.
+  auto tasks_at = [](i64 n) {
+    loopir::LoopNest nest = core::example42(n);
+    StreamOptions so;
+    so.num_threads = 2;
+    StreamExecutor ex(nest, plan_for(nest), so);
+    exec::ArrayStore store(nest);
+    store.fill_pattern();
+    return ex.run(store).total_tasks();
+  };
+  i64 small = tasks_at(10);
+  i64 big = tasks_at(100);
+  EXPECT_LE(big, 4 * small + 64);  // bounded by splitting policy, not by n^2
+}
+
+// ----------------------------------------------------------- parallelizer
+
+TEST(Parallelizer, StreamingModeChecksWholeSuite) {
+  core::PdmParallelizer::Options po;
+  po.emit_c = false;
+  po.measure = false;
+  po.exec_mode = core::ExecMode::Streaming;
+  core::PdmParallelizer p(po);
+  ThreadPool pool(3);
+  for (const core::NamedNest& c : core::paper_suite(5)) {
+    // Throws on any divergence from the sequential reference.
+    core::Report r = p.parallelize_and_check(c.nest, pool);
+    EXPECT_GT(r.runtime_tasks, 0) << c.name;
+  }
+}
+
+TEST(Parallelizer, MaterializedModeStillWorks) {
+  core::PdmParallelizer::Options po;
+  po.emit_c = false;
+  po.measure = false;
+  po.exec_mode = core::ExecMode::Materialized;
+  core::PdmParallelizer p(po);
+  ThreadPool pool(3);
+  for (const core::NamedNest& c : core::paper_suite(5)) {
+    core::Report r = p.parallelize_and_check(c.nest, pool);
+    EXPECT_EQ(r.runtime_tasks, 0) << c.name;  // counters are streaming-only
+  }
+}
+
+}  // namespace
+}  // namespace vdep::runtime
