@@ -1,16 +1,22 @@
 // FPT-like command-line driver: reads a loop program in the mini-DSL from a
-// file (or stdin), prints the dependence/PDM analysis report and emits the
+// file (or stdin), prints the staged compilation report and emits the
 // transformed OpenMP C code.
 //
 //   $ ./dsl_driver loop.vdep          # analyze a file
 //   $ ./dsl_driver --emit-c loop.vdep # also print generated C
 //   $ echo 'do i = 0, 9 ... enddo' | ./dsl_driver -
+//
+// Parse failures are reported compiler-style with a caret under the
+// offending column:
+//
+//   loop.vdep:2:11: parse error (line 2, col 11): expected an expression...
+//     A[i] = @
+//            ^
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "core/parallelizer.h"
-#include "dsl/parser.h"
+#include "api/vdep.h"
 
 namespace {
 
@@ -28,6 +34,34 @@ std::string read_input(const std::string& path) {
   std::ostringstream os;
   os << f.rdbuf();
   return os.str();
+}
+
+/// Prints `path:line:col: message`, the offending source line, and a caret
+/// column marker — the classic compiler diagnostic shape.
+void print_diagnostic(const std::string& path, const std::string& source,
+                      const vdep::ApiError& err) {
+  std::cerr << path;
+  if (err.line > 0) {
+    std::cerr << ":" << err.line;
+    if (err.column > 0) std::cerr << ":" << err.column;
+  }
+  std::cerr << ": " << err.message << "\n";
+  if (err.line <= 0) return;
+
+  // Find the offending line (1-based) in the source.
+  std::istringstream is(source);
+  std::string text;
+  for (int k = 0; k < err.line && std::getline(is, text); ++k) {
+  }
+  std::cerr << "  " << text << "\n";
+  if (err.column > 0) {
+    std::cerr << "  ";
+    for (int k = 1; k < err.column; ++k)
+      std::cerr << (k - 1 < static_cast<int>(text.size()) && text[k - 1] == '\t'
+                        ? '\t'
+                        : ' ');
+    std::cerr << "^\n";
+  }
 }
 
 }  // namespace
@@ -51,21 +85,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  try {
-    vdep::loopir::LoopNest nest = vdep::dsl::parse_loop_nest(read_input(path));
-    vdep::core::PdmParallelizer::Options opts;
-    opts.emit_c = emit_c;
-    vdep::core::PdmParallelizer p(opts);
-    vdep::core::Report r = p.analyze(nest);
-    std::cout << r.summary();
-    if (emit_c)
-      std::cout << "\n=== generated C ===\n" << r.c_transformed;
-    return 0;
-  } catch (const vdep::dsl::ParseError& e) {
-    std::cerr << e.what() << "\n";
+  std::string source = read_input(path);
+  vdep::Compiler compiler;
+  vdep::Expected<vdep::CompiledLoop> loop = compiler.compile(source);
+  if (!loop) {
+    print_diagnostic(path, source, loop.error());
     return 1;
+  }
+
+  // The post-compile stages (measure / summary / codegen) run against the
+  // *bounded* nest and may still throw, e.g. OverflowError when iteration
+  // counting or Fourier-Motzkin on near-int64 bounds exceeds exact range.
+  try {
+    std::cout << loop->summary();
+    vdep::exec::RunStats ms = loop->measure();
+    std::cout << "-- measured parallelism --\n"
+              << ms.work_items << " independent work items, longest "
+              << ms.max_item << " of " << ms.iterations << " iterations\n";
+    if (emit_c)
+      std::cout << "\n=== generated C ===\n"
+                << loop->codegen(vdep::CodegenOptions{}.openmp(true));
   } catch (const vdep::Error& e) {
     std::cerr << "analysis error: " << e.what() << "\n";
     return 1;
   }
+  return 0;
 }

@@ -9,7 +9,7 @@
 // Verifies the result against a plain triple-loop computation.
 #include <iostream>
 
-#include "core/parallelizer.h"
+#include "api/vdep.h"
 #include "core/suite.h"
 
 using namespace vdep;
@@ -18,16 +18,15 @@ int main() {
   const intlin::i64 n = 40;
   loopir::LoopNest nest = core::matmul_reduction(n);
 
-  core::PdmParallelizer::Options opts;
-  opts.emit_c = false;
-  core::PdmParallelizer p(opts);
-  core::Report r = p.analyze(nest);
+  Compiler compiler;
+  CompiledLoop loop = compiler.compile(nest).value();
+  exec::RunStats measured = loop.measure();
 
-  std::cout << "PDM: " << r.pdm.matrix().to_string() << "\n";
-  std::cout << "DOALL loops: " << r.doall_loops
+  std::cout << "PDM: " << loop.analysis().pdm.matrix().to_string() << "\n";
+  std::cout << "DOALL loops: " << loop.plan().doall_loops
             << " (expect 2: i and j), partition classes: "
-            << r.partition_classes << "\n";
-  std::cout << "independent work items: " << r.work_items << " (expect "
+            << loop.plan().partition_classes << "\n";
+  std::cout << "independent work items: " << measured.work_items << " (expect "
             << (n + 1) * (n + 1) << ")\n\n";
 
   // Execute in parallel and validate against a hand-written reference.
@@ -36,7 +35,7 @@ int main() {
   store.fill_pattern();
   // Snapshot inputs for the reference computation.
   exec::ArrayStore inputs = store;
-  exec::run_parallel(nest, r.plan, store, pool);
+  loop.execute(ExecPolicy{}, store, pool).value();
 
   bool ok = true;
   for (intlin::i64 i = 0; i <= n && ok; ++i) {

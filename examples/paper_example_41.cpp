@@ -8,7 +8,7 @@
 //   5. ISDG statistics before/after and an execution proof.
 #include <iostream>
 
-#include "core/parallelizer.h"
+#include "api/vdep.h"
 #include "core/suite.h"
 #include "exec/isdg.h"
 #include "exec/verify.h"
@@ -22,8 +22,11 @@ int main() {
   std::cout << "== original loop (paper 4.1, reconstructed) ==\n"
             << nest.to_string() << "\n";
 
-  // Step 1-2: dependence analysis and the PDM.
-  dep::Pdm pdm = dep::compute_pdm(nest);
+  // Step 1-2: dependence analysis and the PDM, through the staged API —
+  // compile() runs the pipeline once, the stage accessors are lookups.
+  Compiler compiler;
+  CompiledLoop loop = compiler.compile(nest).value();
+  const dep::Pdm& pdm = loop.analysis().pdm;
   for (const dep::DepPair& p : pdm.pairs()) {
     std::cout << dep::to_string(p.kind)
               << " dependence: delta0 = " << intlin::to_string(p.solution.offset)
@@ -31,14 +34,13 @@ int main() {
   }
   std::cout << pdm.to_string() << "\n\n";
 
-  // Step 3: Algorithm 1.
-  trans::TransformPlan plan = trans::plan_transform(pdm);
+  // Step 3: Algorithm 1 (the plan ships with its Theorem 1 certificate).
+  const trans::TransformPlan& plan = loop.plan().transform;
   std::cout << "Algorithm 1: T = " << plan.t.to_string()
             << "  =>  H*T = " << plan.transformed_pdm.to_string() << "\n";
   std::cout << "ops:";
   for (const auto& op : plan.algorithm1_ops) std::cout << " " << op;
-  std::cout << "\nlegal (Theorem 1): "
-            << (trans::is_legal_transform(pdm.matrix(), plan.t) ? "yes" : "NO")
+  std::cout << "\nlegal (Theorem 1): " << (loop.plan().legal ? "yes" : "NO")
             << "\n\n";
 
   // Step 4: transformed code.

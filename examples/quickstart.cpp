@@ -1,19 +1,20 @@
-// Quickstart: parse a loop from the mini-DSL, compute the pseudo distance
-// matrix, derive the legal parallelizing transformation, print the report
-// and the generated OpenMP C code, and prove semantic equivalence by
-// running both versions.
+// Quickstart for the staged compilation API: compile a loop from the
+// mini-DSL once, query the staged artifacts (analysis / plan / codegen),
+// prove semantic equivalence by running plan and reference, then reuse the
+// cached plan at much larger bounds — the "compile once, serve any size"
+// model.
 //
 //   $ ./quickstart
 #include <iostream>
 
-#include "core/parallelizer.h"
-#include "dsl/parser.h"
+#include "api/vdep.h"
+#include "core/suite.h"
 
 int main() {
   // The paper's Example 4.1 (reconstructed): variable dependence distances
   // — every distance is an even multiple of (1,-1), which no constant
   // distance vector can describe.
-  const char* program = R"(
+  const std::string program = R"(
 # A is written through a nonsingular skewing of the index space and read
 # twice; all dependence distances are (2k, -2k).
 array A[-70:70, -70:70]
@@ -24,20 +25,42 @@ do i1 = -10, 10
 enddo
 )";
 
-  vdep::loopir::LoopNest nest = vdep::dsl::parse_loop_nest(program);
+  vdep::Compiler compiler;
 
-  vdep::core::PdmParallelizer parallelizer;
-  vdep::ThreadPool pool(4);
-  // analyze + run sequential and parallel executions, throwing if they
-  // disagree in a single array element. Execution goes through the
-  // streaming runtime (ExecMode::Streaming, the default): work-stealing
-  // descriptors scanned on the fly, nothing materialized.
-  vdep::core::Report report = parallelizer.parallelize_and_check(nest, pool);
+  // Stage 0: parse + analyze (or cache hit). Errors are values, not
+  // exceptions: inspect loop.error() instead of catching.
+  vdep::Expected<vdep::CompiledLoop> loop = compiler.compile(program);
+  if (!loop) {
+    std::cerr << loop.error().to_string() << "\n";
+    return 1;
+  }
 
-  std::cout << report.summary() << "\n";
+  // Stages 1-3, queryable separately and computed at most once.
+  std::cout << loop->summary() << "\n";
   std::cout << "=== generated C (transformed, OpenMP) ===\n"
-            << report.c_transformed << "\n";
-  std::cout << "parallel execution verified against the sequential reference."
-            << std::endl;
+            << loop->codegen(vdep::CodegenOptions{}.openmp(true)) << "\n";
+
+  // Stage 4: run the plan through the streaming runtime and verify the
+  // final store bit-for-bit against the sequential reference.
+  vdep::Expected<vdep::ExecReport> run =
+      loop->check(vdep::ExecPolicy{}.threads(4));
+  if (!run) {
+    std::cerr << run.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "verified at compiled bounds: " << run->iterations
+            << " iterations, " << run->tasks << " descriptor(s), checksum "
+            << run->checksum << "\n";
+
+  // The plan depends only on the loop's structure, never its bounds:
+  // re-compiling the same kernel at n=60 is a cache hit, and the check
+  // re-verifies the *same* cached plan on the larger space.
+  vdep::CompiledLoop big =
+      compiler.compile(vdep::core::example41(60)).value();
+  vdep::ExecReport big_run = big.check(vdep::ExecPolicy{}.threads(4)).value();
+  vdep::CacheStats stats = compiler.cache_stats();
+  std::cout << "verified at n=60 from the cached plan: " << big_run.iterations
+            << " iterations (cache: " << stats.hits << " hit(s), "
+            << stats.misses << " miss(es))\n";
   return 0;
 }

@@ -7,8 +7,9 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/parallelizer.h"
+#include "api/vdep.h"
 #include "core/suite.h"
+#include "exec/interpreter.h"
 
 using namespace vdep;
 using Clock = std::chrono::steady_clock;
@@ -24,9 +25,9 @@ double seconds_since(Clock::time_point t0) {
 int main() {
   const intlin::i64 n = 60;  // ~14k iterations per 2-deep kernel
   ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
-  core::PdmParallelizer::Options opts;
-  opts.emit_c = false;
-  core::PdmParallelizer parallelizer(opts);
+  // One Compiler session across the sweep: every kernel is analyzed once,
+  // no matter how many sizes would be run through it.
+  Compiler compiler;
 
   std::cout << std::left << std::setw(22) << "kernel" << std::setw(9)
             << "doall" << std::setw(9) << "classes" << std::setw(11)
@@ -34,28 +35,41 @@ int main() {
             << "t_par(ms)" << "speedup\n";
 
   for (const core::NamedNest& c : core::paper_suite(n)) {
-    core::Report r = parallelizer.analyze(c.nest);
+    CompiledLoop loop = compiler.compile(c.nest).value();
+    exec::RunStats measured = loop.measure();
 
     exec::ArrayStore ref(c.nest);
     ref.fill_pattern();
     exec::ArrayStore par = ref;
 
     auto t0 = Clock::now();
-    exec::run_sequential(c.nest, ref);
+    try {
+      exec::run_sequential(c.nest, ref);
+    } catch (const OverflowError&) {
+      // Exact arithmetic: kernels whose values outgrow int64 at this size
+      // (the wavefront is binomial in n) refuse to wrap and are skipped.
+      std::cout << std::left << std::setw(22) << c.name
+                << "skipped: int64 overflow at n=" << n << "\n";
+      continue;
+    }
     double t_seq = seconds_since(t0);
 
     t0 = Clock::now();
-    exec::run_parallel(c.nest, r.plan, par, pool);
+    ExecReport run =
+        loop.execute(ExecPolicy{}.mode(ExecMode::kMaterialized), par, pool)
+            .value();
     double t_par = seconds_since(t0);
 
     if (!(ref == par)) {
       std::cerr << "FATAL: " << c.name << " diverged!\n";
       return 1;
     }
+    (void)run;
 
     std::cout << std::left << std::setw(22) << c.name << std::setw(9)
-              << r.doall_loops << std::setw(9) << r.partition_classes
-              << std::setw(11) << r.work_items << std::setw(12) << std::fixed
+              << loop.plan().doall_loops << std::setw(9)
+              << loop.plan().partition_classes << std::setw(11)
+              << measured.work_items << std::setw(12) << std::fixed
               << std::setprecision(2) << t_seq * 1e3 << std::setw(12)
               << t_par * 1e3 << std::setprecision(2) << t_seq / t_par << "\n";
   }

@@ -1,0 +1,201 @@
+#include "api/compiled_loop.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "codegen/rewrite.h"
+#include "exec/array_store.h"
+#include "exec/interpreter.h"
+#include "runtime/stream_executor.h"
+#include "support/error.h"
+
+namespace vdep {
+
+namespace {
+
+i64 elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- options
+
+std::string CodegenOptions::memo_key() const {
+  std::string key = target_ == CodegenTarget::kTransformed ? "trans" : "orig";
+  key += ";omp=";
+  key += openmp_ ? '1' : '0';
+  key += ";main=";
+  key += with_main_ ? '1' : '0';
+  key += ";name=";
+  key += kernel_name_;
+  return key;
+}
+
+// ------------------------------------------------------------ artifact
+
+const std::string& PlanArtifact::codegen(const loopir::LoopNest& nest,
+                                         const CodegenOptions& opts) const {
+  // The artifact is bounds-free but emitted C is not (loop bounds and the
+  // body appear verbatim), so the memo key is the option key plus the full
+  // nest rendering. Handles at the same bounds share the emitted string.
+  std::string key = opts.memo_key();
+  key += '\n';
+  key += nest.to_string();
+
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = codegen_memo_.find(key);
+    if (it != codegen_memo_.end()) return it->second;
+  }
+
+  // Emit outside the lock: transformed bounds run Fourier–Motzkin. A racing
+  // thread may emit the same string; emplace keeps the first.
+  codegen::EmitOptions eo;
+  eo.openmp = opts.openmp();
+  eo.with_main = opts.with_main();
+  eo.kernel_name = opts.kernel_name();
+  std::string c = opts.target() == CodegenTarget::kOriginal
+                      ? codegen::emit_c_original(nest, eo)
+                      : codegen::emit_c_transformed(nest, plan_.transform, eo);
+
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return codegen_memo_.emplace(std::move(key), std::move(c)).first->second;
+}
+
+// -------------------------------------------------------------- handle
+
+exec::RunStats CompiledLoop::measure() const {
+  return exec::measure_schedule(*nest_, art_->plan().transform);
+}
+
+Expected<CompiledLoop> CompiledLoop::at(const loopir::LoopNest& bounds) const {
+  return try_invoke([&]() -> CompiledLoop {
+    Fingerprint fp = structural_fingerprint(bounds);
+    if (fp != art_->fingerprint())
+      throw PreconditionError(
+          "CompiledLoop::at: nest structure differs from the compiled "
+          "structure (recompile instead of rebinding)");
+    return CompiledLoop(art_, bounds);
+  });
+}
+
+Expected<ExecReport> CompiledLoop::execute(const ExecPolicy& policy,
+                                           exec::ArrayStore& store) const {
+  return execute_impl(policy, store, nullptr);
+}
+
+Expected<ExecReport> CompiledLoop::execute(const ExecPolicy& policy,
+                                           exec::ArrayStore& store,
+                                           vdep::ThreadPool& pool) const {
+  return execute_impl(policy, store, &pool);
+}
+
+Expected<ExecReport> CompiledLoop::check(const ExecPolicy& policy) const {
+  return check_impl(policy, nullptr);
+}
+
+Expected<ExecReport> CompiledLoop::check(const ExecPolicy& policy,
+                                         vdep::ThreadPool& pool) const {
+  return check_impl(policy, &pool);
+}
+
+Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
+                                                exec::ArrayStore& store,
+                                                vdep::ThreadPool* pool) const {
+  return try_invoke([&]() -> ExecReport {
+    ExecReport rep;
+    auto t0 = std::chrono::steady_clock::now();
+    if (policy.mode() == ExecMode::kStreaming) {
+      runtime::StreamOptions so;
+      so.num_threads =
+          policy.threads() ? policy.threads() : (pool ? pool->size() : 0);
+      so.grain = policy.grain();
+      so.force_interpreter = policy.interpreter_only();
+      runtime::StreamExecutor ex(*nest_, art_->plan().transform, so);
+      runtime::RuntimeStats rs = pool ? ex.run(store, *pool) : ex.run(store);
+      rep.iterations = rs.total_iterations();
+      rep.tasks = rs.total_tasks();
+      rep.steals = rs.total_steals();
+    } else {
+      exec::RunStats rs;
+      if (pool) {
+        rs = exec::run_parallel(*nest_, art_->plan().transform, store, *pool);
+      } else {
+        std::size_t threads = policy.threads()
+                                  ? policy.threads()
+                                  : std::max(1u, std::thread::hardware_concurrency());
+        vdep::ThreadPool local(threads);
+        rs = exec::run_parallel(*nest_, art_->plan().transform, store, local);
+      }
+      rep.iterations = rs.iterations;
+      rep.tasks = rs.work_items;
+    }
+    rep.wall_ns = elapsed_ns(t0);
+    rep.checksum = store.checksum();
+    return rep;
+  });
+}
+
+Expected<ExecReport> CompiledLoop::check_impl(const ExecPolicy& policy,
+                                              vdep::ThreadPool* pool) const {
+  return try_invoke([&]() -> ExecReport {
+    exec::ArrayStore ref(*nest_);
+    ref.fill_pattern();
+    exec::ArrayStore par = ref;
+    exec::run_sequential(*nest_, ref);
+    // value() re-raises the typed error so the outer try_invoke recaptures
+    // it — execution failures and divergence surface the same way.
+    ExecReport rep = execute_impl(policy, par, pool).value();
+    if (!(ref == par))
+      throw InternalError(
+          "parallel execution diverged from the sequential reference");
+    rep.verified = true;
+    rep.checksum = par.checksum();
+    return rep;
+  });
+}
+
+std::string CompiledLoop::summary() const {
+  const LoopAnalysis& a = art_->analysis();
+  const LoopPlan& p = art_->plan();
+  std::ostringstream os;
+  os << "=== vdep compiled loop ===\n";
+  os << "-- structure --\n";
+  os << "fingerprint " << std::hex << fingerprint().hash << std::dec
+     << ", depth " << nest_->depth() << ", PDM rank " << a.rank
+     << (a.all_uniform ? " [uniform]" : " [variable]") << "\n";
+  os << "-- original nest --\n" << nest_->to_string();
+  os << "-- dependence analysis --\n";
+  if (a.pdm.pairs().empty()) {
+    os << "no dependent reference pairs\n";
+  } else {
+    for (const dep::DepPair& pr : a.pdm.pairs()) {
+      os << dep::to_string(pr.kind) << ": S" << pr.stmt_a + 1 << " "
+         << pr.a.to_string(nest_->index_names()) << "  <->  S" << pr.stmt_b + 1
+         << " " << pr.b.to_string(nest_->index_names())
+         << (pr.solution.is_uniform() ? "  [uniform]" : "  [variable]") << "\n";
+    }
+  }
+  os << a.pdm.to_string() << "\n";
+  os << "-- plan (Theorem 1 " << (p.legal ? "certified" : "NOT CERTIFIED")
+     << ") --\n";
+  os << "T = " << p.transform.t.to_string()
+     << ",  H*T = " << p.transform.transformed_pdm.to_string() << "\n";
+  if (!p.transform.algorithm1_ops.empty()) {
+    os << "Algorithm 1 ops:";
+    for (const std::string& op : p.transform.algorithm1_ops) os << " " << op;
+    os << "\n";
+  }
+  os << "-- parallel structure --\n";
+  os << p.doall_loops << " outer DOALL loop(s), " << p.partition_classes
+     << " independent partition class(es)\n";
+  os << "-- transformed nest --\n"
+     << codegen::rewrite_nest(*nest_, p.transform).nest.to_string();
+  return os.str();
+}
+
+}  // namespace vdep

@@ -1,0 +1,213 @@
+// CompiledLoop: an immutable, shareable handle over the staged compilation
+// artifacts of one loop structure.
+//
+// The stages mirror the paper's pipeline and are queryable separately:
+//
+//   analysis()  PDM + rank (Section 2)            — structure-only, cached
+//   plan()      TransformPlan + legality cert     — structure-only, cached
+//   codegen()   emitted C, memoized per option    — lazy, bounds enter here
+//   execute()   streaming/materialized run        — bounds + data enter here
+//   check()     execute + bit-exact verification against sequential
+//
+// A handle = {shared PlanArtifact, concrete bounded nest}. The artifact is
+// keyed by the structural fingerprint (api/fingerprint.h) and shared by
+// every handle whose nest has the same structure — compile once at n=10,
+// rebind with at() (or re-compile: it is a cache hit) and execute at
+// n=1000 without re-running Hermite/Smith/Fourier–Motzkin.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/fingerprint.h"
+#include "codegen/emit_c.h"
+#include "dep/pdm.h"
+#include "exec/runner.h"
+#include "support/expected.h"
+#include "trans/planner.h"
+
+namespace vdep {
+
+using intlin::i64;
+
+// ---------------------------------------------------------------- options
+
+/// Which program codegen() emits.
+enum class CodegenTarget {
+  kTransformed,  ///< unimodular rewrite + Theorem-2 class loops
+  kOriginal,     ///< the sequential source nest
+};
+
+/// Builder-style code generation options (replaces the bool soup of
+/// codegen::EmitOptions at the API boundary).
+class CodegenOptions {
+ public:
+  CodegenOptions& target(CodegenTarget t) { target_ = t; return *this; }
+  CodegenOptions& openmp(bool v) { openmp_ = v; return *this; }
+  CodegenOptions& with_main(bool v) { with_main_ = v; return *this; }
+  CodegenOptions& kernel_name(std::string v) { kernel_name_ = std::move(v); return *this; }
+
+  CodegenTarget target() const { return target_; }
+  bool openmp() const { return openmp_; }
+  bool with_main() const { return with_main_; }
+  const std::string& kernel_name() const { return kernel_name_; }
+
+  /// Canonical memoization key of this option set.
+  std::string memo_key() const;
+
+ private:
+  CodegenTarget target_ = CodegenTarget::kTransformed;
+  bool openmp_ = true;
+  bool with_main_ = true;
+  std::string kernel_name_ = "kernel";
+};
+
+/// How execute()/check() run the plan.
+enum class ExecMode {
+  kStreaming,     ///< runtime::StreamExecutor, O(active descriptors) state
+  kMaterialized,  ///< exec::build_schedule + ThreadPool replay
+};
+
+/// Builder-style execution policy (replaces core::Options::exec_mode and
+/// the ad-hoc StreamOptions plumbing at the API boundary).
+class ExecPolicy {
+ public:
+  ExecPolicy& mode(ExecMode m) { mode_ = m; return *this; }
+  ExecPolicy& threads(std::size_t t) { threads_ = t; return *this; }
+  ExecPolicy& grain(i64 g) { grain_ = g; return *this; }
+  ExecPolicy& interpreter_only(bool v = true) { interpreter_only_ = v; return *this; }
+
+  ExecMode mode() const { return mode_; }
+  std::size_t threads() const { return threads_; }  ///< 0 = hardware
+  i64 grain() const { return grain_; }              ///< 0 = automatic
+  bool interpreter_only() const { return interpreter_only_; }
+
+ private:
+  ExecMode mode_ = ExecMode::kStreaming;
+  std::size_t threads_ = 0;
+  i64 grain_ = 0;
+  bool interpreter_only_ = false;
+};
+
+// -------------------------------------------------------------- artifacts
+
+/// Stage 1 — dependence analysis (paper Section 2). Structure-only.
+struct LoopAnalysis {
+  dep::Pdm pdm;
+  int rank = 0;
+  bool all_uniform = false;  ///< Corollary 5: classical uniform distances
+};
+
+/// Stage 2 — transformation plan plus its legality certificate
+/// (Theorem 1 re-checked on the final T, not just trusted from
+/// construction). Structure-only.
+struct LoopPlan {
+  trans::TransformPlan transform;
+  bool legal = false;
+  int doall_loops = 0;
+  i64 partition_classes = 1;
+};
+
+/// Outcome of execute()/check().
+struct ExecReport {
+  i64 iterations = 0;
+  i64 tasks = 0;   ///< work items (materialized) or leaf descriptors (streaming)
+  i64 steals = 0;  ///< streaming only
+  i64 wall_ns = 0;
+  i64 checksum = 0;      ///< final store digest
+  bool verified = false; ///< true when produced by check()
+};
+
+/// The cached unit: fingerprint + the two structure-only stages, plus a
+/// per-(nest,options) memo of lazily emitted C. Immutable after
+/// construction except the internal codegen memo (mutex-guarded), so one
+/// instance is safely shared across threads and cache handles.
+class PlanArtifact {
+ public:
+  PlanArtifact(Fingerprint fp, LoopAnalysis analysis, LoopPlan plan)
+      : fp_(std::move(fp)),
+        analysis_(std::move(analysis)),
+        plan_(std::move(plan)) {}
+
+  const Fingerprint& fingerprint() const { return fp_; }
+  const LoopAnalysis& analysis() const { return analysis_; }
+  const LoopPlan& plan() const { return plan_; }
+
+  /// Emitted C for `nest` under `opts`; computed on first request and
+  /// memoized. `nest` must carry this artifact's structure (bounds are the
+  /// point of the parameter: they only exist at the handle, not here).
+  const std::string& codegen(const loopir::LoopNest& nest,
+                             const CodegenOptions& opts) const;
+
+ private:
+  Fingerprint fp_;
+  LoopAnalysis analysis_;
+  LoopPlan plan_;
+
+  mutable std::mutex memo_mu_;
+  mutable std::map<std::string, std::string> codegen_memo_;
+};
+
+// ----------------------------------------------------------------- handle
+
+class CompiledLoop {
+ public:
+  /// Binds a shared artifact to a concrete bounded nest. Normally obtained
+  /// from Compiler::compile(), not constructed directly.
+  CompiledLoop(std::shared_ptr<const PlanArtifact> artifact,
+               loopir::LoopNest nest)
+      : art_(std::move(artifact)),
+        nest_(std::make_shared<const loopir::LoopNest>(std::move(nest))) {}
+
+  const loopir::LoopNest& nest() const { return *nest_; }
+  const Fingerprint& fingerprint() const { return art_->fingerprint(); }
+
+  /// Stage accessors (cached, shared across every handle of the structure).
+  const LoopAnalysis& analysis() const { return art_->analysis(); }
+  const LoopPlan& plan() const { return art_->plan(); }
+
+  /// Lazily emitted C for this handle's bounds, memoized per option set.
+  const std::string& codegen(const CodegenOptions& opts = {}) const {
+    return art_->codegen(*nest_, opts);
+  }
+
+  /// Parallelism of this handle's bounded space: independent work items,
+  /// longest item, total iterations (counting scan, O(1) memory).
+  exec::RunStats measure() const;
+
+  /// Rebinds the cached plan to different bounds without re-analysis.
+  /// Errors (kPrecondition) when `bounds` has a different structure.
+  Expected<CompiledLoop> at(const loopir::LoopNest& bounds) const;
+
+  /// Runs the plan over `store` (which must have been built for nest()).
+  Expected<ExecReport> execute(const ExecPolicy& policy,
+                               exec::ArrayStore& store) const;
+  /// Same, reusing a long-lived pool for the workers.
+  Expected<ExecReport> execute(const ExecPolicy& policy,
+                               exec::ArrayStore& store,
+                               vdep::ThreadPool& pool) const;
+
+  /// Executes the plan and the sequential reference from the same
+  /// deterministic initial store; errors (kInternal) on any bitwise
+  /// divergence. The returned report has verified = true.
+  Expected<ExecReport> check(const ExecPolicy& policy = {}) const;
+  Expected<ExecReport> check(const ExecPolicy& policy,
+                             vdep::ThreadPool& pool) const;
+
+  /// Multi-section human-readable report of all stages.
+  std::string summary() const;
+
+ private:
+  Expected<ExecReport> execute_impl(const ExecPolicy& policy,
+                                    exec::ArrayStore& store,
+                                    vdep::ThreadPool* pool) const;
+  Expected<ExecReport> check_impl(const ExecPolicy& policy,
+                                  vdep::ThreadPool* pool) const;
+
+  std::shared_ptr<const PlanArtifact> art_;
+  std::shared_ptr<const loopir::LoopNest> nest_;
+};
+
+}  // namespace vdep

@@ -1,0 +1,55 @@
+#include "api/compiler.h"
+
+#include "dsl/parser.h"
+#include "support/error.h"
+#include "trans/legality.h"
+
+namespace vdep {
+
+Compiler::Compiler(CompileOptions opts)
+    : opts_(opts),
+      cache_(std::make_unique<PlanCache>(opts.cache_capacity(),
+                                         opts.cache_shards())) {}
+
+Expected<CompiledLoop> Compiler::compile(const loopir::LoopNest& nest) const {
+  return try_invoke([&]() -> CompiledLoop {
+    if (opts_.validate()) nest.validate();
+
+    Fingerprint fp = structural_fingerprint(nest);
+    if (std::shared_ptr<const PlanArtifact> art = cache_->find(fp))
+      return CompiledLoop(std::move(art), nest);
+
+    // Cold path: the full pipeline. Everything below depends on the
+    // structure only, so the artifact is valid for this fingerprint at any
+    // bounds.
+    LoopAnalysis analysis;
+    analysis.pdm = dep::compute_pdm(nest);
+    analysis.rank = analysis.pdm.rank();
+    analysis.all_uniform = analysis.pdm.all_uniform();
+
+    LoopPlan plan;
+    plan.transform = trans::plan_transform(analysis.pdm);
+    plan.doall_loops = plan.transform.num_doall;
+    plan.partition_classes = plan.transform.partition_classes;
+    // The certificate is re-derived from Theorem 1, not trusted from plan
+    // construction: a cached plan is either certified or never exists.
+    plan.legal =
+        trans::is_legal_transform(analysis.pdm.matrix(), plan.transform.t);
+    if (!plan.legal)
+      throw InternalError(
+          "plan_transform produced a transformation that fails the "
+          "Theorem 1 legality check");
+
+    std::shared_ptr<const PlanArtifact> art =
+        cache_->insert(std::make_shared<PlanArtifact>(
+            std::move(fp), std::move(analysis), std::move(plan)));
+    return CompiledLoop(std::move(art), nest);
+  });
+}
+
+Expected<CompiledLoop> Compiler::compile(const std::string& dsl_source) const {
+  return dsl::try_parse_loop_nest(dsl_source)
+      .and_then([&](const loopir::LoopNest& nest) { return compile(nest); });
+}
+
+}  // namespace vdep

@@ -1,0 +1,66 @@
+// vdep::Compiler — the staged, cacheable entry point of the library.
+//
+//   vdep::Compiler compiler;                       // one session, any thread
+//   auto loop = compiler.compile(nest);            // Expected<CompiledLoop>
+//   if (!loop) { /* loop.error().kind / .message */ }
+//   loop->analysis();                              // PDM + rank  (cached)
+//   loop->plan();                                  // transform + legality
+//   loop->codegen(vdep::CodegenOptions{});         // lazy, memoized C
+//   loop->check(vdep::ExecPolicy{}.threads(8));    // run + verify, any bounds
+//
+// compile() fingerprints the nest's structure (bounds excluded) and serves
+// the analysis + plan from a thread-safe sharded LRU cache: the paper's
+// pipeline is a function of subscript matrices only, so one cold compile
+// amortizes over every request size of the same kernel. The second
+// overload compiles DSL text, surfacing dsl::ParseError as an inspectable
+// Expected error with line and column instead of an exception.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/compiled_loop.h"
+#include "api/plan_cache.h"
+
+namespace vdep {
+
+/// Builder-style session options (replaces scattered constructor flags).
+class CompileOptions {
+ public:
+  CompileOptions& cache_capacity(std::size_t n) { cache_capacity_ = n; return *this; }
+  CompileOptions& cache_shards(std::size_t n) { cache_shards_ = n; return *this; }
+  CompileOptions& validate(bool v) { validate_ = v; return *this; }
+
+  std::size_t cache_capacity() const { return cache_capacity_; }
+  std::size_t cache_shards() const { return cache_shards_; }
+  bool validate() const { return validate_; }
+
+ private:
+  std::size_t cache_capacity_ = 256;
+  std::size_t cache_shards_ = 8;
+  bool validate_ = true;  ///< run LoopNest::validate() before analysis
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions opts = {});
+
+  /// Analyzes the nest (or serves the plan from cache) and returns a
+  /// shareable staged handle. Thread-safe; const because a session is
+  /// meant to be shared across request threads.
+  Expected<CompiledLoop> compile(const loopir::LoopNest& nest) const;
+
+  /// Parses mini-DSL source, then compiles. Parse failures come back as
+  /// ErrorKind::kParse with 1-based line/column set.
+  Expected<CompiledLoop> compile(const std::string& dsl_source) const;
+
+  CacheStats cache_stats() const { return cache_->stats(); }
+  void clear_cache() { cache_->clear(); }
+  const CompileOptions& options() const { return opts_; }
+
+ private:
+  CompileOptions opts_;
+  std::unique_ptr<PlanCache> cache_;
+};
+
+}  // namespace vdep

@@ -1,0 +1,78 @@
+#include "api/fingerprint.h"
+
+#include <charconv>
+
+namespace vdep {
+
+namespace {
+
+// FNV-1a, 64-bit.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void append_int(std::string* out, intlin::i64 v) {
+  char buf[24];
+  char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  out->append(buf, end);
+  out->push_back(',');
+}
+
+}  // namespace
+
+Fingerprint structural_fingerprint(const loopir::LoopNest& nest) {
+  // The dependence analysis consumes exactly the access sequence of
+  // for_each_access(): every write and read with its statement index and
+  // affine subscripts. Serialize that view — per access: statement, W/R,
+  // canonical array ordinal, and each subscript's coefficients and
+  // constant. Statement order matters (it orders source/sink of
+  // same-iteration dependences); read order within a statement is the
+  // deterministic pre-order. This is the compile() fast path: no
+  // allocation beyond the key itself.
+  std::string key;
+  key.reserve(256);
+  key += 'd';
+  append_int(&key, nest.depth());
+
+  // First-appearance array ordinals; linear scan beats a map for the
+  // handful of arrays a nest references.
+  std::vector<const std::string*> arrays;
+  auto ordinal_of = [&](const std::string& name) -> int {
+    for (std::size_t k = 0; k < arrays.size(); ++k)
+      if (*arrays[k] == name) return static_cast<int>(k);
+    arrays.push_back(&name);
+    return static_cast<int>(arrays.size()) - 1;
+  };
+
+  nest.for_each_access(
+      [&](const loopir::ArrayRef& ref, int statement, bool is_write) {
+        key += 'S';
+        append_int(&key, statement);
+        key += is_write ? 'W' : 'R';
+        key += 'a';
+        append_int(&key, ordinal_of(ref.array));
+        for (const loopir::AffineExpr& s : ref.subscripts) {
+          key += '[';
+          for (intlin::i64 c : s.coeffs()) append_int(&key, c);
+          key += ':';
+          append_int(&key, s.constant_term());
+          key += ']';
+        }
+        key += ';';
+      });
+
+  Fingerprint fp;
+  fp.key = std::move(key);
+  fp.hash = fnv1a(fp.key);
+  return fp;
+}
+
+}  // namespace vdep

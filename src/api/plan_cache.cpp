@@ -1,0 +1,91 @@
+#include "api/plan_cache.h"
+
+#include <algorithm>
+
+namespace vdep {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards)
+    : shards_(std::max<std::size_t>(1, shards)) {
+  per_shard_cap_ = std::max<std::size_t>(
+      1, (std::max<std::size_t>(1, capacity) + shards_.size() - 1) /
+             shards_.size());
+}
+
+PlanCache::LruList::iterator* PlanCache::Shard::lookup(const Fingerprint& fp) {
+  auto bucket = by_hash.find(fp.hash);
+  if (bucket == by_hash.end()) return nullptr;
+  for (LruList::iterator& it : bucket->second)
+    if ((*it)->fingerprint().key == fp.key) return &it;
+  return nullptr;
+}
+
+void PlanCache::Shard::erase_index(const Fingerprint& fp,
+                                   LruList::iterator it) {
+  auto bucket = by_hash.find(fp.hash);
+  if (bucket == by_hash.end()) return;
+  std::vector<LruList::iterator>& v = bucket->second;
+  v.erase(std::remove(v.begin(), v.end(), it), v.end());
+  if (v.empty()) by_hash.erase(bucket);
+}
+
+std::shared_ptr<const PlanArtifact> PlanCache::find(const Fingerprint& fp) {
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  LruList::iterator* it = s.lookup(fp);
+  if (!it) {
+    ++s.misses;
+    return nullptr;
+  }
+  // Bump to MRU: splice the node to the front; iterators stay valid, so
+  // the index entry does not need updating.
+  s.lru.splice(s.lru.begin(), s.lru, *it);
+  ++s.hits;
+  return s.lru.front();
+}
+
+std::shared_ptr<const PlanArtifact> PlanCache::insert(
+    std::shared_ptr<const PlanArtifact> artifact) {
+  const Fingerprint& fp = artifact->fingerprint();
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  if (LruList::iterator* it = s.lookup(fp)) {
+    // A racing compile of the same structure landed first; keep it so every
+    // handle shares one artifact (and one codegen memo).
+    s.lru.splice(s.lru.begin(), s.lru, *it);
+    return s.lru.front();
+  }
+
+  while (s.lru.size() >= per_shard_cap_) {
+    auto victim = std::prev(s.lru.end());
+    s.erase_index((*victim)->fingerprint(), victim);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+
+  s.lru.push_front(std::move(artifact));
+  s.by_hash[fp.hash].push_back(s.lru.begin());
+  return s.lru.front();
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+  }
+  return out;
+}
+
+void PlanCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.by_hash.clear();
+    s.lru.clear();
+  }
+}
+
+}  // namespace vdep

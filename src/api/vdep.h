@@ -1,0 +1,14 @@
+// Umbrella header of the staged compilation API.
+//
+//   #include "api/vdep.h"
+//
+//   vdep::Compiler compiler;
+//   vdep::Expected<vdep::CompiledLoop> loop = compiler.compile(nest);
+//
+// Pulls in Compiler / CompileOptions (api/compiler.h), CompiledLoop with
+// its stage artifacts and ExecPolicy / CodegenOptions (api/compiled_loop.h),
+// the structural Fingerprint (api/fingerprint.h), the PlanCache
+// (api/plan_cache.h) and Expected / ApiError (support/expected.h).
+#pragma once
+
+#include "api/compiler.h"

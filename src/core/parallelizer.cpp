@@ -48,30 +48,29 @@ std::string Report::summary() const {
 }
 
 Report PdmParallelizer::analyze(const loopir::LoopNest& nest) const {
+  // value() re-raises the typed exception (UnsupportedError, ...) so the
+  // wrapper keeps the historical throwing contract.
+  CompiledLoop loop = compiler_.compile(nest).value();
+
   Report r;
   r.nest = nest;
-  r.pdm = dep::compute_pdm(nest);
-  r.transformed =
-      codegen::TransformedNest{nest, intlin::Mat::identity(nest.depth()),
-                               intlin::Mat::identity(nest.depth())};
-  r.plan = trans::plan_transform(r.pdm);
+  r.pdm = loop.analysis().pdm;
+  r.plan = loop.plan().transform;
   r.transformed = codegen::rewrite_nest(nest, r.plan);
-  r.doall_loops = r.plan.num_doall;
-  r.partition_classes = r.plan.partition_classes;
+  r.doall_loops = loop.plan().doall_loops;
+  r.partition_classes = loop.plan().partition_classes;
 
   if (opts_.measure) {
-    // Counting scan, not a materialized schedule: O(1) memory, so the
-    // measurement never undercuts the streaming executor's footprint.
-    exec::RunStats ms = exec::measure_schedule(nest, r.plan);
+    exec::RunStats ms = loop.measure();
     r.work_items = ms.work_items;
     r.max_item = ms.max_item;
     r.total_iterations = ms.iterations;
   }
   if (opts_.emit_c) {
-    codegen::EmitOptions eo;
-    eo.openmp = opts_.openmp;
-    r.c_original = codegen::emit_c_original(nest, eo);
-    r.c_transformed = codegen::emit_c_transformed(nest, r.plan, eo);
+    r.c_original = loop.codegen(CodegenOptions{}
+                                    .target(CodegenTarget::kOriginal)
+                                    .openmp(opts_.openmp));
+    r.c_transformed = loop.codegen(CodegenOptions{}.openmp(opts_.openmp));
   }
   return r;
 }
@@ -79,22 +78,17 @@ Report PdmParallelizer::analyze(const loopir::LoopNest& nest) const {
 Report PdmParallelizer::parallelize_and_check(const loopir::LoopNest& nest,
                                               ThreadPool& pool) const {
   Report r = analyze(nest);
-  exec::ArrayStore ref(nest);
-  ref.fill_pattern();
-  exec::ArrayStore par = ref;
-  exec::run_sequential(nest, ref);
-  if (opts_.exec_mode == ExecMode::Streaming) {
-    runtime::StreamOptions ro;
-    ro.num_threads = pool.size();
-    runtime::StreamExecutor ex(nest, r.plan, ro);
-    runtime::RuntimeStats rs = ex.run(par, pool);  // reuse the caller's pool
-    r.runtime_tasks = rs.total_tasks();
-    r.runtime_steals = rs.total_steals();
-  } else {
-    exec::run_parallel(nest, r.plan, par, pool);
+  // Cache hit: the structure was just analyzed.
+  CompiledLoop loop = compiler_.compile(nest).value();
+  bool streaming = opts_.exec_mode == ExecMode::Streaming;
+  ExecPolicy policy;
+  policy.mode(streaming ? vdep::ExecMode::kStreaming
+                        : vdep::ExecMode::kMaterialized);
+  ExecReport er = loop.check(policy, pool).value();
+  if (streaming) {
+    r.runtime_tasks = er.tasks;
+    r.runtime_steals = er.steals;
   }
-  VDEP_CHECK(ref == par,
-             "parallel execution diverged from the sequential reference");
   return r;
 }
 

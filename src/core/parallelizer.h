@@ -1,16 +1,25 @@
-// PdmParallelizer — the paper's contribution as a single public entry
-// point: analyze a perfectly nested affine loop, derive the pseudo distance
-// matrix, choose a legal transformation (Algorithm 1 + Theorem 2), generate
-// the transformed code and report the exploited parallelism.
+// PdmParallelizer — DEPRECATED compatibility facade over the staged
+// compilation API (api/vdep.h).
 //
-//   vdep::core::PdmParallelizer p;
-//   vdep::core::Report r = p.analyze(nest);
-//   std::cout << r.summary();          // PDM, transform, doall, classes
-//   std::cout << r.c_transformed;      // compilable C with omp pragmas
+// This was the original single entry point: analyze() re-ran the full
+// intlin/poly pipeline on every call and returned a god-object Report
+// bundling analysis, codegen and execution counters. It is now a thin
+// wrapper over vdep::Compiler — each PdmParallelizer owns a Compiler
+// session, so repeated calls on the same loop *structure* (any bounds)
+// hit the plan cache — and is kept only so existing callers compile
+// unchanged. New code should use the staged API directly:
+//
+//   vdep::Compiler compiler;
+//   auto loop = compiler.compile(nest);            // Expected<CompiledLoop>
+//   loop->analysis(); loop->plan();                // cached stages
+//   loop->codegen(); loop->check(policy);          // lazy / at any bounds
+//
+// Migration table: docs/API.md.
 #pragma once
 
 #include <string>
 
+#include "api/vdep.h"
 #include "baselines/baseline.h"
 #include "codegen/emit_c.h"
 #include "exec/runner.h"
@@ -54,16 +63,12 @@ struct Report {
   std::string summary() const;
 };
 
-/// How parallelize_and_check executes the plan.
-///
-///   Materialized — exec::build_schedule stores every iteration vector of
-///                  every work item, then replays on a ThreadPool;
-///                  O(total iterations x depth) schedule memory.
-///   Streaming    — runtime::StreamExecutor walks descriptors through the
-///                  Partitioning scan recurrence with work stealing;
-///                  O(active descriptors) schedule memory. The default.
+/// How parallelize_and_check executes the plan (see vdep::ExecMode for the
+/// staged-API equivalent).
 enum class ExecMode { Materialized, Streaming };
 
+/// DEPRECATED: prefer vdep::Compiler (see the file comment). Kept as a
+/// thin wrapper so pre-staged-API code keeps compiling.
 class PdmParallelizer {
  public:
   struct Options {
@@ -76,7 +81,8 @@ class PdmParallelizer {
   PdmParallelizer() = default;
   explicit PdmParallelizer(Options opts) : opts_(opts) {}
 
-  /// Full analysis pipeline; pure (does not execute the loop).
+  /// Full analysis pipeline; pure (does not execute the loop). Served from
+  /// the session plan cache when the structure was seen before.
   Report analyze(const loopir::LoopNest& nest) const;
 
   /// Analysis + execution proof: runs the original sequentially and the
@@ -87,6 +93,7 @@ class PdmParallelizer {
 
  private:
   Options opts_;
+  Compiler compiler_;  ///< session: structure-keyed plan cache
 };
 
 }  // namespace vdep::core

@@ -41,18 +41,26 @@ struct Token {
   std::string text;
   i64 value = 0;
   int line = 1;
+  int col = 1;  ///< 1-based column of the token's first character
 };
 
 std::vector<Token> lex(const std::string& src) {
   std::vector<Token> out;
   int line = 1;
   std::size_t k = 0;
-  auto push = [&](Tok t, std::string s) { out.push_back({t, std::move(s), 0, line}); };
+  std::size_t line_start = 0;  // index of the first character of `line`
+  auto col_of = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
+  };
+  auto push = [&](Tok t, std::string s) {
+    out.push_back({t, std::move(s), 0, line, col_of(k)});
+  };
   while (k < src.size()) {
     char c = src[k];
     if (c == '\n') {
       ++line;
       ++k;
+      line_start = k;
       continue;
     }
     if (c == ' ' || c == '\t' || c == '\r') {
@@ -68,13 +76,13 @@ std::vector<Token> lex(const std::string& src) {
       while (k < src.size() && (std::isalnum(static_cast<unsigned char>(src[k])) ||
                                 src[k] == '_'))
         ++k;
-      push(Tok::kIdent, src.substr(s, k - s));
+      out.push_back({Tok::kIdent, src.substr(s, k - s), 0, line, col_of(s)});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t s = k;
       while (k < src.size() && std::isdigit(static_cast<unsigned char>(src[k]))) ++k;
-      Token t{Tok::kNumber, src.substr(s, k - s), 0, line};
+      Token t{Tok::kNumber, src.substr(s, k - s), 0, line, col_of(s)};
       t.value = std::stoll(t.text);
       out.push_back(std::move(t));
       continue;
@@ -91,11 +99,13 @@ std::vector<Token> lex(const std::string& src) {
       case '-': push(Tok::kMinus, "-"); break;
       case '*': push(Tok::kStar, "*"); break;
       default:
-        throw ParseError(std::string("unexpected character '") + c + "'", line);
+        throw ParseError(std::string("unexpected character '") + c + "'", line,
+                         col_of(k));
     }
     ++k;
   }
-  out.push_back({Tok::kEnd, "<eof>", 0, line});
+  out.push_back({Tok::kEnd, "<eof>", 0, line,
+                 col_of(std::min(k, src.size()))});
   return out;
 }
 
@@ -109,12 +119,14 @@ struct PExpr {
   std::vector<PExpr> kids;          // binary / unary operands
   std::vector<PExpr> subscripts;    // kRead
   int line = 1;
+  int col = 1;
 };
 
 struct PLoop {
   std::string index;
   PExpr lo, hi;
   int line = 1;
+  int col = 1;
 };
 
 struct PAssign {
@@ -122,6 +134,7 @@ struct PAssign {
   std::vector<PExpr> subscripts;
   PExpr rhs;
   int line = 1;
+  int col = 1;
 };
 
 struct PProgram {
@@ -139,7 +152,7 @@ class Parser {
     while (peek().kind == Tok::kIdent && peek().text == "array")
       parse_array_decl(prog);
     if (!(peek().kind == Tok::kIdent && peek().text == "do"))
-      throw ParseError("expected 'do'", peek().line);
+      throw ParseError("expected 'do'", peek().line, peek().col);
     parse_loop(prog);
     expect_end();
     return prog;
@@ -154,7 +167,7 @@ class Parser {
   Token expect(Tok kind, const std::string& what) {
     if (peek().kind != kind)
       throw ParseError("expected " + what + ", found '" + peek().text + "'",
-                       peek().line);
+                       peek().line, peek().col);
     return next();
   }
   bool accept_ident(const std::string& word) {
@@ -167,7 +180,7 @@ class Parser {
   void expect_end() {
     if (peek().kind != Tok::kEnd)
       throw ParseError("trailing input after the loop nest: '" + peek().text + "'",
-                       peek().line);
+                       peek().line, peek().col);
   }
 
   void parse_array_decl(PProgram& prog) {
@@ -179,7 +192,7 @@ class Parser {
       i64 lo = parse_signed_int();
       expect(Tok::kColon, "':'");
       i64 hi = parse_signed_int();
-      if (lo > hi) throw ParseError("empty array dimension", name.line);
+      if (lo > hi) throw ParseError("empty array dimension", name.line, name.col);
       dims.emplace_back(lo, hi);
       if (peek().kind == Tok::kComma) {
         next();
@@ -189,7 +202,8 @@ class Parser {
     }
     expect(Tok::kRBracket, "']'");
     if (!prog.declared_arrays.emplace(name.text, std::move(dims)).second)
-      throw ParseError("array " + name.text + " declared twice", name.line);
+      throw ParseError("array " + name.text + " declared twice", name.line,
+                       name.col);
   }
 
   i64 parse_signed_int() {
@@ -206,10 +220,11 @@ class Parser {
     Token kw = expect(Tok::kIdent, "'do'");  // consumes "do"
     PLoop loop;
     loop.line = kw.line;
+    loop.col = kw.col;
     loop.index = expect(Tok::kIdent, "loop index").text;
     for (const PLoop& l : prog.loops)
       if (l.index == loop.index)
-        throw ParseError("duplicate loop index " + loop.index, kw.line);
+        throw ParseError("duplicate loop index " + loop.index, kw.line, kw.col);
     expect(Tok::kAssign, "'='");
     loop.lo = parse_expr();
     expect(Tok::kComma, "','");
@@ -222,12 +237,12 @@ class Parser {
       // Innermost: one or more assignments.
       if (!(peek().kind == Tok::kIdent) || peek().text == "enddo")
         throw ParseError("loop body must contain at least one assignment",
-                         peek().line);
+                         peek().line, peek().col);
       while (peek().kind == Tok::kIdent && peek().text != "enddo")
         prog.body.push_back(parse_assign());
     }
     if (!accept_ident("enddo"))
-      throw ParseError("expected 'enddo'", peek().line);
+      throw ParseError("expected 'enddo'", peek().line, peek().col);
   }
 
   PAssign parse_assign() {
@@ -235,6 +250,7 @@ class Parser {
     Token name = expect(Tok::kIdent, "array name");
     a.array = name.text;
     a.line = name.line;
+    a.col = name.col;
     expect(Tok::kLBracket, "'[' (assignments must target an array)");
     for (;;) {
       a.subscripts.push_back(parse_expr());
@@ -258,6 +274,7 @@ class Parser {
       PExpr node;
       node.kind = plus ? PExpr::Kind::kAdd : PExpr::Kind::kSub;
       node.line = acc.line;
+      node.col = acc.col;
       node.kids = {std::move(acc), std::move(rhs)};
       acc = std::move(node);
     }
@@ -272,6 +289,7 @@ class Parser {
       PExpr node;
       node.kind = PExpr::Kind::kMul;
       node.line = acc.line;
+      node.col = acc.col;
       node.kids = {std::move(acc), std::move(rhs)};
       acc = std::move(node);
     }
@@ -285,6 +303,7 @@ class Parser {
       PExpr node;
       node.kind = PExpr::Kind::kNeg;
       node.line = t.line;
+      node.col = t.col;
       node.kids.push_back(parse_factor());
       return node;
     }
@@ -294,6 +313,7 @@ class Parser {
       node.kind = PExpr::Kind::kNum;
       node.num = t.value;
       node.line = t.line;
+      node.col = t.col;
       return node;
     }
     if (t.kind == Tok::kLParen) {
@@ -310,6 +330,7 @@ class Parser {
         node.kind = PExpr::Kind::kRead;
         node.name = name.text;
         node.line = name.line;
+        node.col = name.col;
         for (;;) {
           node.subscripts.push_back(parse_expr());
           if (peek().kind == Tok::kComma) {
@@ -325,9 +346,11 @@ class Parser {
       node.kind = PExpr::Kind::kVar;
       node.name = name.text;
       node.line = name.line;
+      node.col = name.col;
       return node;
     }
-    throw ParseError("expected an expression, found '" + t.text + "'", t.line);
+    throw ParseError("expected an expression, found '" + t.text + "'", t.line,
+                     t.col);
   }
 
   std::vector<Token> toks_;
@@ -354,7 +377,7 @@ class Lowerer {
       if (lo.last_index_used() >= static_cast<int>(k) ||
           hi.last_index_used() >= static_cast<int>(k))
         throw ParseError("bounds of " + l.index + " may only use outer indices",
-                         l.line);
+                         l.line, l.col);
       levels.push_back({l.index, loopir::Bound(lo), loopir::Bound(hi), false});
     }
 
@@ -367,7 +390,7 @@ class Lowerer {
         out.lhs.subscripts.push_back(to_affine(s));
       out.rhs = to_expr(a.rhs);
       body.push_back(std::move(out));
-      note_array(a.array, static_cast<int>(a.subscripts.size()), a.line);
+      note_array(a.array, static_cast<int>(a.subscripts.size()), a.line, a.col);
     }
 
     // Array declarations: explicit or inferred from subscript extremes.
@@ -376,10 +399,11 @@ class Lowerer {
   }
 
  private:
-  void note_array(const std::string& name, int arity, int line) {
+  void note_array(const std::string& name, int arity, int line, int col) {
     auto it = arity_.find(name);
     if (it != arity_.end() && it->second != arity)
-      throw ParseError("array " + name + " used with inconsistent arity", line);
+      throw ParseError("array " + name + " used with inconsistent arity", line,
+                       col);
     arity_[name] = arity;
   }
 
@@ -390,7 +414,7 @@ class Lowerer {
       case PExpr::Kind::kVar: {
         auto it = index_of_.find(e.name);
         if (it == index_of_.end())
-          throw ParseError("unknown index variable " + e.name, e.line);
+          throw ParseError("unknown index variable " + e.name, e.line, e.col);
         return AffineExpr::index(depth_, it->second);
       }
       case PExpr::Kind::kAdd:
@@ -404,13 +428,14 @@ class Lowerer {
         AffineExpr b = to_affine(e.kids[1]);
         if (a.is_constant()) return b.scaled(a.constant_term());
         if (b.is_constant()) return a.scaled(b.constant_term());
-        throw ParseError("non-affine product in subscript or bound", e.line);
+        throw ParseError("non-affine product in subscript or bound", e.line,
+                         e.col);
       }
       case PExpr::Kind::kRead:
         throw ParseError("array reference not allowed in subscript or bound",
-                         e.line);
+                         e.line, e.col);
     }
-    throw ParseError("unreachable", e.line);
+    throw ParseError("unreachable", e.line, e.col);
   }
 
   loopir::ExprPtr to_expr(const PExpr& e) {
@@ -421,7 +446,7 @@ class Lowerer {
       case PExpr::Kind::kVar: {
         auto it = index_of_.find(e.name);
         if (it == index_of_.end())
-          throw ParseError("unknown index variable " + e.name, e.line);
+          throw ParseError("unknown index variable " + e.name, e.line, e.col);
         return Expr::index(it->second);
       }
       case PExpr::Kind::kAdd:
@@ -436,11 +461,11 @@ class Lowerer {
         loopir::ArrayRef r;
         r.array = e.name;
         for (const PExpr& s : e.subscripts) r.subscripts.push_back(to_affine(s));
-        note_array(e.name, static_cast<int>(e.subscripts.size()), e.line);
+        note_array(e.name, static_cast<int>(e.subscripts.size()), e.line, e.col);
         return Expr::read(std::move(r));
       }
     }
-    throw ParseError("unreachable", e.line);
+    throw ParseError("unreachable", e.line, e.col);
   }
 
   std::vector<loopir::ArrayDecl> infer_arrays(
@@ -514,6 +539,16 @@ loopir::LoopNest parse_loop_nest(const std::string& source) {
   PProgram prog = parser.parse();
   Lowerer lowerer(prog);
   return lowerer.lower();
+}
+
+Expected<loopir::LoopNest> try_parse_loop_nest(const std::string& source) {
+  try {
+    return parse_loop_nest(source);
+  } catch (const ParseError& e) {
+    return ApiError{ErrorKind::kParse, e.what(), e.line(), e.column()};
+  } catch (const Error& e) {
+    return detail::classify(e);
+  }
 }
 
 }  // namespace vdep::dsl

@@ -16,21 +16,32 @@
 #include <string>
 
 #include "loopir/nest.h"
+#include "support/expected.h"
 
 namespace vdep::dsl {
 
 class ParseError : public Error {
  public:
-  ParseError(const std::string& what, int line)
-      : Error("parse error (line " + std::to_string(line) + "): " + what),
-        line_(line) {}
+  ParseError(const std::string& what, int line, int column = -1)
+      : Error("parse error (line " + std::to_string(line) +
+              (column > 0 ? ", col " + std::to_string(column) : "") +
+              "): " + what),
+        line_(line),
+        column_(column) {}
   int line() const { return line_; }
+  /// 1-based column of the offending token; -1 when unknown.
+  int column() const { return column_; }
 
  private:
   int line_;
+  int column_;
 };
 
-/// Parses a program into a validated loop nest.
+/// Parses a program into a validated loop nest; throws ParseError.
 loopir::LoopNest parse_loop_nest(const std::string& source);
+
+/// Exception-free variant for the staged API: parse failures come back as
+/// ErrorKind::kParse with line and column filled in.
+Expected<loopir::LoopNest> try_parse_loop_nest(const std::string& source);
 
 }  // namespace vdep::dsl

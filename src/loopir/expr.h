@@ -58,6 +58,16 @@ class Expr {
   /// Collect every array read in the tree (pre-order).
   void collect_reads(std::vector<ArrayRef>* out) const;
 
+  /// Visit every array read in the tree (same pre-order) without
+  /// materializing copies — the hot-path variant for fingerprinting and
+  /// validation.
+  template <typename Fn>
+  void for_each_read(Fn&& fn) const {
+    if (kind_ == Kind::kRead) fn(ref_);
+    if (lhs_) lhs_->for_each_read(fn);
+    if (rhs_) rhs_->for_each_read(fn);
+  }
+
   /// The same tree with all array references substituted (j -> j*T).
   ExprPtr substituted(const intlin::Mat& t) const;
 

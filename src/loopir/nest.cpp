@@ -99,15 +99,15 @@ void LoopNest::validate() const {
       VDEP_REQUIRE(t.num.depth() == depth(), "bound depth mismatch");
     }
   }
-  for (const Access& a : accesses()) {
-    VDEP_REQUIRE(has_array(a.ref.array), "undeclared array " + a.ref.array);
-    const ArrayDecl& decl = array(a.ref.array);
-    VDEP_REQUIRE(a.ref.arity() == decl.arity(),
-                 "reference arity mismatch for array " + a.ref.array);
-    for (const AffineExpr& s : a.ref.subscripts)
+  for_each_access([&](const ArrayRef& ref, int, bool) {
+    VDEP_REQUIRE(has_array(ref.array), "undeclared array " + ref.array);
+    const ArrayDecl& decl = array(ref.array);
+    VDEP_REQUIRE(ref.arity() == decl.arity(),
+                 "reference arity mismatch for array " + ref.array);
+    for (const AffineExpr& s : ref.subscripts)
       VDEP_REQUIRE(s.depth() == depth(),
-                   "subscript depth mismatch in array " + a.ref.array);
-  }
+                   "subscript depth mismatch in array " + ref.array);
+  });
 }
 
 void LoopNest::enumerate(int k, Vec& iter,

@@ -67,6 +67,19 @@ class LoopNest {
   };
   std::vector<Access> accesses() const;
 
+  /// Visits every access in the same order as accesses() — per statement
+  /// the write, then its reads in pre-order — without materializing
+  /// ArrayRef copies. fn(ref, statement, is_write).
+  template <typename Fn>
+  void for_each_access(Fn&& fn) const {
+    for (std::size_t s = 0; s < body_.size(); ++s) {
+      int stmt = static_cast<int>(s);
+      fn(body_[s].lhs, stmt, true);
+      body_[s].rhs->for_each_read(
+          [&](const ArrayRef& r) { fn(r, stmt, false); });
+    }
+  }
+
   /// Structural validation; throws PreconditionError on violations
   /// (bounds referencing inner indices, unknown arrays, arity mismatches,
   /// non-positive bound divisors).

@@ -113,16 +113,16 @@ void StreamExecutor::scan_tail(int level, Worker& w) const {
 }
 
 void StreamExecutor::scan_prefix(int level, const TaskDescriptor& task,
+                                 const std::vector<Vec>& labels,
                                  Worker& w) const {
   if (level == num_doall_) {
-    for (i64 c = task.class_lo; c < task.class_hi; ++c) {
-      if (part_) {
-        Vec label = part_->class_label(c);
+    if (part_) {
+      for (const Vec& label : labels)
         part_->for_each_class_iteration_from(tn_.nest, num_doall_, label, w.j,
                                              w.emit_j);
-      } else {
+    } else {
+      for (i64 c = task.class_lo; c < task.class_hi; ++c)
         scan_tail(num_doall_, w);
-      }
     }
     return;
   }
@@ -131,20 +131,29 @@ void StreamExecutor::scan_prefix(int level, const TaskDescriptor& task,
   i64 hi = l.upper.eval_upper(w.j);
   for (i64 v = lo; v <= hi; ++v) {
     w.j[static_cast<std::size_t>(level)] = v;
-    scan_prefix(level + 1, task, w);
+    scan_prefix(level + 1, task, labels, w);
   }
   w.j[static_cast<std::size_t>(level)] = 0;
 }
 
 void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
+  // Class labels depend only on the class id, which the descriptor fixes:
+  // derive them once per leaf, not once per DOALL-prefix point (the prefix
+  // scan below visits O(extent^num_doall) points).
+  std::vector<Vec> labels;
+  if (part_) {
+    labels.reserve(static_cast<std::size_t>(task.class_hi - task.class_lo));
+    for (i64 c = task.class_lo; c < task.class_hi; ++c)
+      labels.push_back(part_->class_label(c));
+  }
   if (has_outer()) {
     for (i64 v = task.outer_lo; v <= task.outer_hi; ++v) {
       w.j[0] = v;
-      scan_prefix(1, task, w);
+      scan_prefix(1, task, labels, w);
     }
     w.j[0] = 0;
   } else {
-    scan_prefix(0, task, w);
+    scan_prefix(0, task, labels, w);
   }
 }
 

@@ -82,7 +82,8 @@ class StreamExecutor {
       const std::function<std::function<void(const Vec&)>(int)>& body_factory,
       ThreadPool* pool) const;
   void execute_leaf(const TaskDescriptor& task, Worker& w) const;
-  void scan_prefix(int level, const TaskDescriptor& task, Worker& w) const;
+  void scan_prefix(int level, const TaskDescriptor& task,
+                   const std::vector<Vec>& labels, Worker& w) const;
   void scan_tail(int level, Worker& w) const;
   void emit(Worker& w) const;
 

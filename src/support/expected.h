@@ -1,0 +1,149 @@
+// Expected<T>: the value-or-error vocabulary type of the public API.
+//
+// The analysis library throws (support/error.h) — analysis code is deep
+// recursion where exceptions keep the happy path clean. The staged API
+// (api/compiler.h) must not leak those exceptions to callers serving
+// traffic, so every boundary function returns Expected<T>: either the
+// value or an inspectable ApiError carrying a machine-checkable kind and,
+// for parse errors, the exact source position.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/error.h"
+
+namespace vdep {
+
+/// Machine-checkable classification of an ApiError.
+enum class ErrorKind {
+  kParse,         ///< DSL source rejected (line/column are set)
+  kUnsupported,   ///< program outside the affine model
+  kPrecondition,  ///< caller violated a documented precondition
+  kOverflow,      ///< exact arithmetic exceeded int64
+  kInternal,      ///< library invariant failed (bug)
+};
+
+inline const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kUnsupported: return "unsupported";
+    case ErrorKind::kPrecondition: return "precondition";
+    case ErrorKind::kOverflow: return "overflow";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// The error arm of Expected: what went wrong, classified, with source
+/// position when the input was DSL text.
+struct ApiError {
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+  int line = -1;    ///< 1-based source line (kParse only, else -1)
+  int column = -1;  ///< 1-based source column (kParse only, else -1)
+
+  std::string to_string() const {
+    std::string s = std::string("[") + vdep::to_string(kind) + "] " + message;
+    return s;
+  }
+
+  /// Re-throws as the matching exception type from support/error.h (used
+  /// by the deprecated throwing wrappers layered over the Expected API).
+  [[noreturn]] void raise() const {
+    switch (kind) {
+      case ErrorKind::kUnsupported: throw UnsupportedError(message);
+      case ErrorKind::kPrecondition: throw PreconditionError(message);
+      case ErrorKind::kOverflow: throw OverflowError(message);
+      case ErrorKind::kParse:
+      case ErrorKind::kInternal: break;
+    }
+    throw InternalError(message);
+  }
+};
+
+/// Either a T or an ApiError. Deliberately tiny — not a std::expected
+/// polyfill, just the slice the API boundary needs: has_value/operator
+/// bool, value/error access, value_or, and monadic map/and_then.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}          // NOLINT(implicit)
+  Expected(ApiError error) : state_(std::move(error)) {}   // NOLINT(implicit)
+
+  bool has_value() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return has_value(); }
+
+  /// Value access; raises the stored error (typed) when absent.
+  const T& value() const& {
+    if (!has_value()) std::get<ApiError>(state_).raise();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    if (!has_value()) std::get<ApiError>(state_).raise();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!has_value()) std::get<ApiError>(state_).raise();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Error access; precondition: !has_value().
+  const ApiError& error() const {
+    VDEP_CHECK(!has_value(), "Expected::error() called on a value");
+    return std::get<ApiError>(state_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  /// Applies f to the value (f returns a plain U); propagates the error.
+  template <typename F>
+  auto map(F&& f) const -> Expected<decltype(f(std::declval<const T&>()))> {
+    if (!has_value()) return std::get<ApiError>(state_);
+    return f(std::get<T>(state_));
+  }
+
+  /// Applies f to the value (f returns an Expected<U>); propagates.
+  template <typename F>
+  auto and_then(F&& f) const -> decltype(f(std::declval<const T&>())) {
+    if (!has_value()) return std::get<ApiError>(state_);
+    return f(std::get<T>(state_));
+  }
+
+ private:
+  std::variant<T, ApiError> state_;
+};
+
+namespace detail {
+/// Maps a caught library exception to its ApiError classification.
+inline ApiError classify(const Error& e) {
+  if (dynamic_cast<const UnsupportedError*>(&e))
+    return {ErrorKind::kUnsupported, e.what()};
+  if (dynamic_cast<const PreconditionError*>(&e))
+    return {ErrorKind::kPrecondition, e.what()};
+  if (dynamic_cast<const OverflowError*>(&e))
+    return {ErrorKind::kOverflow, e.what()};
+  return {ErrorKind::kInternal, e.what()};
+}
+}  // namespace detail
+
+/// Runs f() and captures any library exception as the error arm. The
+/// standard bridge from the throwing analysis core to the Expected API.
+template <typename F>
+auto try_invoke(F&& f) -> Expected<decltype(f())> {
+  try {
+    return f();
+  } catch (const Error& e) {
+    return detail::classify(e);
+  }
+}
+
+}  // namespace vdep

@@ -1,0 +1,275 @@
+// Tests for the staged compilation API: structural fingerprints, the
+// sharded LRU plan cache (including a multi-threaded hammer — this binary
+// runs under TSan in CI), Expected error propagation, and the
+// bounds-parametric acceptance property: a plan compiled at n=10 executes
+// bit-identically at n=100 and n=1000 without re-analysis.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/vdep.h"
+#include "core/suite.h"
+#include "loopir/builder.h"
+
+// Detect ThreadSanitizer so the heavyweight sizes scale down (the hammer
+// still runs at full thread count).
+#if defined(__SANITIZE_THREAD__)
+#define VDEP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VDEP_TSAN 1
+#endif
+#endif
+
+namespace vdep {
+namespace {
+
+using core::example41;
+using core::example42;
+using loopir::Expr;
+using loopir::LoopNest;
+using loopir::LoopNestBuilder;
+
+// A[i+k] = A[i] + c over i in [0, n]: structure varies with k, bounds with n.
+LoopNest shifted_chain(i64 k, i64 n) {
+  LoopNestBuilder b;
+  b.loop("i", 0, n);
+  b.array("A", {{-16, n + 16}});
+  b.assign(b.ref("A", {b.affine({1}, k)}),
+           Expr::add(b.read("A", {b.idx(0)}), Expr::constant(1)));
+  return b.build();
+}
+
+// ------------------------------------------------------------ fingerprint
+
+TEST(Fingerprint, SameStructureDifferentBoundsCollide) {
+  EXPECT_EQ(structural_fingerprint(example41(4)),
+            structural_fingerprint(example41(77)));
+  EXPECT_EQ(structural_fingerprint(core::triangular_uniform(4)),
+            structural_fingerprint(core::triangular_uniform(9)));
+  EXPECT_EQ(structural_fingerprint(shifted_chain(2, 5)),
+            structural_fingerprint(shifted_chain(2, 5000)));
+}
+
+TEST(Fingerprint, DifferentSubscriptsMiss) {
+  EXPECT_NE(structural_fingerprint(example41(6)),
+            structural_fingerprint(example42(6)));
+  // Differ only in uniform distance: (1,0)/(0,1) vs (2,0)/(0,2).
+  EXPECT_NE(structural_fingerprint(core::uniform_wavefront(6)),
+            structural_fingerprint(core::uniform_blocked(6)));
+  // Differ only in one subscript constant.
+  EXPECT_NE(structural_fingerprint(shifted_chain(1, 9)),
+            structural_fingerprint(shifted_chain(2, 9)));
+}
+
+TEST(Fingerprint, ArrayNamesCanonicalized) {
+  // Renaming every array consistently preserves the dependence structure,
+  // so it preserves the fingerprint.
+  LoopNestBuilder b1;
+  b1.loop("i", 0, 9);
+  b1.array("A", {{0, 32}});
+  b1.array("B", {{0, 32}});
+  b1.assign(b1.ref("A", {b1.affine({1}, 1)}), b1.read("B", {b1.idx(0)}));
+
+  LoopNestBuilder b2;
+  b2.loop("i", 0, 9);
+  b2.array("X", {{0, 32}});
+  b2.array("Y", {{0, 32}});
+  b2.assign(b2.ref("X", {b2.affine({1}, 1)}), b2.read("Y", {b2.idx(0)}));
+  EXPECT_EQ(structural_fingerprint(b1.build()),
+            structural_fingerprint(b2.build()));
+}
+
+TEST(Fingerprint, ArrayIdentityStillMatters) {
+  // A[i+1] = A[i] has a dependence; A[i+1] = B[i] does not — the
+  // canonicalization must keep same-array equality, not erase identity.
+  LoopNestBuilder b1;
+  b1.loop("i", 0, 9);
+  b1.array("A", {{0, 32}});
+  b1.assign(b1.ref("A", {b1.affine({1}, 1)}), b1.read("A", {b1.idx(0)}));
+
+  LoopNestBuilder b2;
+  b2.loop("i", 0, 9);
+  b2.array("A", {{0, 32}});
+  b2.array("B", {{0, 32}});
+  b2.assign(b2.ref("A", {b2.affine({1}, 1)}), b2.read("B", {b2.idx(0)}));
+  EXPECT_NE(structural_fingerprint(b1.build()),
+            structural_fingerprint(b2.build()));
+}
+
+// -------------------------------------------------------------- LRU cache
+
+std::shared_ptr<const PlanArtifact> dummy_artifact(std::uint64_t hash,
+                                                   std::string key) {
+  return std::make_shared<PlanArtifact>(Fingerprint{hash, std::move(key)},
+                                        LoopAnalysis{}, LoopPlan{});
+}
+
+TEST(PlanCache, LruEvictionAtCapacity) {
+  PlanCache cache(3, /*shards=*/1);  // one shard: deterministic global LRU
+  cache.insert(dummy_artifact(1, "a"));
+  cache.insert(dummy_artifact(2, "b"));
+  cache.insert(dummy_artifact(3, "c"));
+  // Touch "a": "b" becomes the eviction victim.
+  EXPECT_NE(cache.find(Fingerprint{1, "a"}), nullptr);
+  cache.insert(dummy_artifact(4, "d"));
+
+  EXPECT_EQ(cache.find(Fingerprint{2, "b"}), nullptr);
+  EXPECT_NE(cache.find(Fingerprint{1, "a"}), nullptr);
+  EXPECT_NE(cache.find(Fingerprint{3, "c"}), nullptr);
+  EXPECT_NE(cache.find(Fingerprint{4, "d"}), nullptr);
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 3u);
+}
+
+TEST(PlanCache, HashCollisionDoesNotConfuseKeys) {
+  PlanCache cache(4, 1);
+  cache.insert(dummy_artifact(7, "first"));
+  cache.insert(dummy_artifact(7, "second"));  // same hash, different key
+  auto a = cache.find(Fingerprint{7, "first"});
+  auto b = cache.find(Fingerprint{7, "second"});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->fingerprint().key, "first");
+  EXPECT_EQ(b->fingerprint().key, "second");
+}
+
+TEST(PlanCache, InsertOfDuplicateKeepsResidentArtifact) {
+  PlanCache cache(4, 1);
+  auto first = cache.insert(dummy_artifact(9, "x"));
+  auto second = cache.insert(dummy_artifact(9, "x"));
+  EXPECT_EQ(first.get(), second.get());  // racing loser adopts the winner
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(Compiler, EvictedStructureRecompiles) {
+  Compiler compiler(CompileOptions{}.cache_capacity(2).cache_shards(1));
+  compiler.compile(shifted_chain(1, 9)).value();
+  compiler.compile(shifted_chain(2, 9)).value();
+  compiler.compile(shifted_chain(3, 9)).value();  // evicts shifted_chain(1)
+  EXPECT_GE(compiler.cache_stats().evictions, 1);
+  compiler.compile(shifted_chain(1, 9)).value();  // miss again, recompiled
+  CacheStats s = compiler.cache_stats();
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.misses, 4);
+  EXPECT_LE(s.entries, 2u);
+}
+
+// ------------------------------------------------------------- staged API
+
+TEST(Compiler, CacheHitSharesArtifactAndCodegenMemo) {
+  Compiler compiler;
+  CompiledLoop a = compiler.compile(example41(6)).value();
+  CompiledLoop b = compiler.compile(example41(6)).value();
+  EXPECT_EQ(&a.analysis(), &b.analysis());
+  EXPECT_EQ(&a.plan(), &b.plan());
+  // Same artifact + same bounds + same options => same emitted string.
+  EXPECT_EQ(&a.codegen(), &b.codegen());
+  CacheStats s = compiler.cache_stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+}
+
+TEST(Compiler, RebindRejectsDifferentStructure) {
+  Compiler compiler;
+  CompiledLoop loop = compiler.compile(example41(6)).value();
+  Expected<CompiledLoop> bad = loop.at(example42(6));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().kind, ErrorKind::kPrecondition);
+}
+
+// Acceptance: a CompiledLoop compiled at n=10 executes bit-identically
+// (vs the sequential reference) at n=100 and n=1000 via the streaming
+// runtime without re-analysis.
+TEST(Compiler, PlanCompiledAtTenServesLargeBounds) {
+  Compiler compiler;
+  CompiledLoop small = compiler.compile(example41(10)).value();
+#ifdef VDEP_TSAN
+  const std::vector<i64> sizes = {100, 300};  // TSan: same property, ~10x cheaper
+#else
+  const std::vector<i64> sizes = {100, 1000};
+#endif
+  for (i64 n : sizes) {
+    CompiledLoop big = small.at(example41(n)).value();
+    EXPECT_EQ(&big.analysis(), &small.analysis());  // no re-analysis
+    ExecReport r =
+        big.check(ExecPolicy{}.mode(ExecMode::kStreaming).threads(4)).value();
+    EXPECT_TRUE(r.verified) << "n=" << n;
+    EXPECT_EQ(r.iterations, (2 * n + 1) * (2 * n + 1)) << "n=" << n;
+  }
+  // at() rebinds without touching the cache: still exactly one cold compile.
+  CacheStats s = compiler.cache_stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 0);
+}
+
+TEST(Expected, ValueOrAndMonadicComposition) {
+  Expected<int> ok = 3;
+  Expected<int> err = ApiError{ErrorKind::kUnsupported, "nope"};
+  EXPECT_EQ(ok.value_or(9), 3);
+  EXPECT_EQ(err.value_or(9), 9);
+  EXPECT_EQ(ok.map([](int v) { return v * 2; }).value(), 6);
+  EXPECT_EQ(err.map([](int v) { return v * 2; }).error().kind,
+            ErrorKind::kUnsupported);
+  EXPECT_THROW(err.value(), UnsupportedError);  // raise() restores the type
+}
+
+// ------------------------------------------------------------ hammer test
+//
+// N threads x M compiles through one shared Compiler whose capacity is far
+// below the working set, so lookups, inserts, evictions and racing
+// same-structure compiles all interleave; a subset of iterations also
+// executes + verifies the compiled plan. Runs under TSan in CI.
+TEST(PlanCacheHammer, ConcurrentCompileExecuteEvict) {
+  constexpr int kThreads = 8;
+#ifdef VDEP_TSAN
+  constexpr int kItersPerThread = 12;
+#else
+  constexpr int kItersPerThread = 48;
+#endif
+
+  // 30 nests over 10 distinct structures (3 sizes each).
+  std::vector<loopir::LoopNest> nests;
+  for (i64 n : {i64{3}, i64{4}, i64{5}})
+    for (core::NamedNest& c : core::paper_suite(n))
+      nests.push_back(std::move(c.nest));
+
+  Compiler compiler(CompileOptions{}.cache_capacity(4).cache_shards(2));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const loopir::LoopNest& nest =
+            nests[static_cast<std::size_t>(t * 7 + i) % nests.size()];
+        Expected<CompiledLoop> loop = compiler.compile(nest);
+        if (!loop) {
+          ++failures;
+          continue;
+        }
+        if (!loop->plan().legal) ++failures;
+        if (loop->analysis().pdm.depth() != nest.depth()) ++failures;
+        if (i % 8 == t % 8) {
+          Expected<ExecReport> r =
+              loop->check(ExecPolicy{}.threads(2).grain(1));
+          if (!r || !r->verified) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  CacheStats s = compiler.cache_stats();
+  // Every compile is exactly one find(): hit or miss, nothing lost.
+  EXPECT_EQ(s.hits + s.misses, kThreads * kItersPerThread);
+  EXPECT_LE(s.entries, compiler.options().cache_capacity());
+  EXPECT_GT(s.evictions, 0);
+}
+
+}  // namespace
+}  // namespace vdep

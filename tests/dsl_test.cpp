@@ -3,7 +3,7 @@
 // parallelizer.
 #include <gtest/gtest.h>
 
-#include "core/parallelizer.h"
+#include "api/vdep.h"
 #include "dep/pdm.h"
 #include "dsl/parser.h"
 #include "exec/interpreter.h"
@@ -92,13 +92,42 @@ enddo
   EXPECT_EQ(s.read("A", {3}), 10);
 }
 
-TEST(ParserErrors, ReportLineNumbers) {
+TEST(ParserErrors, ReportLineAndColumn) {
   try {
     parse_loop_nest("do i = 0, 4\n  A[i] = @\nenddo\n");
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 10);  // the '@' is the 10th character of line 2
+    EXPECT_NE(std::string(e.what()).find("line 2, col 10"), std::string::npos);
   }
+}
+
+TEST(ParserErrors, ColumnPointsAtOffendingToken) {
+  try {
+    parse_loop_nest("do i = 0, 4\n  A[k + 1] = 1\nenddo\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 5);  // the unknown index variable 'k'
+  }
+}
+
+TEST(ParserErrors, TryParseReturnsInspectableError) {
+  Expected<loopir::LoopNest> r =
+      try_parse_loop_nest("do i = 0, 4\n  A[i] = @\nenddo\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().kind, ErrorKind::kParse);
+  EXPECT_EQ(r.error().line, 2);
+  EXPECT_EQ(r.error().column, 10);
+}
+
+TEST(ParserErrors, TryParseReturnsValueOnSuccess) {
+  Expected<loopir::LoopNest> r = try_parse_loop_nest(kExample41);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->depth(), 2);
+  EXPECT_EQ(r.map([](const loopir::LoopNest& n) { return n.depth(); }).value(),
+            2);
 }
 
 TEST(ParserErrors, RejectsNonAffineSubscript) {
@@ -143,15 +172,22 @@ enddo
                ParseError);
 }
 
-TEST(Integration, DslToParallelReport) {
-  loopir::LoopNest nest = parse_loop_nest(kExample41);
-  core::PdmParallelizer::Options opts;
-  opts.emit_c = false;
-  core::PdmParallelizer p(opts);
+TEST(Integration, DslSourceToVerifiedExecution) {
+  Compiler compiler;
+  CompiledLoop loop = compiler.compile(std::string(kExample41)).value();
+  EXPECT_EQ(loop.plan().doall_loops, 1);
+  EXPECT_EQ(loop.plan().partition_classes, 2);
   ThreadPool pool(2);
-  core::Report r = p.parallelize_and_check(nest, pool);
-  EXPECT_EQ(r.doall_loops, 1);
-  EXPECT_EQ(r.partition_classes, 2);
+  ExecReport r = loop.check(ExecPolicy{}, pool).value();
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Integration, CompileRejectsBadSourceAsValue) {
+  Compiler compiler;
+  Expected<CompiledLoop> r = compiler.compile(std::string("do i = 0, 4\n"));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().kind, ErrorKind::kParse);
+  EXPECT_GT(r.error().line, 0);
 }
 
 }  // namespace

@@ -13,8 +13,8 @@
 
 #include <set>
 
+#include "api/vdep.h"
 #include "codegen/rewrite.h"
-#include "core/parallelizer.h"
 #include "intlin/det.h"
 #include "core/suite.h"
 #include "dep/pdm.h"
@@ -148,12 +148,13 @@ class SuiteProperty
 
 TEST_P(SuiteProperty, EndToEndChecked) {
   LoopNest n = nest();
-  core::PdmParallelizer::Options opts;
-  opts.emit_c = false;
-  core::PdmParallelizer p(opts);
+  vdep::Compiler compiler;
   ThreadPool pool(3);
-  core::Report r = p.parallelize_and_check(n, pool);  // throws on divergence
-  EXPECT_GE(r.work_items, 1);
+  vdep::CompiledLoop loop = compiler.compile(n).value();
+  // check() errors on divergence from the sequential reference.
+  vdep::ExecReport r = loop.check(vdep::ExecPolicy{}, pool).value();
+  EXPECT_TRUE(r.verified);
+  EXPECT_GE(loop.measure().work_items, 1);
 }
 
 TEST_P(SuiteProperty, CrossItemEdgesAlwaysZero) {

@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/parallelizer.h"
+#include "api/vdep.h"
 #include "core/suite.h"
 #include "dep/pdm.h"
 #include "exec/interpreter.h"
@@ -303,32 +303,33 @@ TEST(Stats, DescriptorCountIsIndependentOfIterationCount) {
   EXPECT_LE(big, 4 * small + 64);  // bounded by splitting policy, not by n^2
 }
 
-// ----------------------------------------------------------- parallelizer
+// ------------------------------------------------------------ staged API
 
 TEST(Parallelizer, StreamingModeChecksWholeSuite) {
-  core::PdmParallelizer::Options po;
-  po.emit_c = false;
-  po.measure = false;
-  po.exec_mode = core::ExecMode::Streaming;
-  core::PdmParallelizer p(po);
+  vdep::Compiler compiler;
   ThreadPool pool(3);
   for (const core::NamedNest& c : core::paper_suite(5)) {
-    // Throws on any divergence from the sequential reference.
-    core::Report r = p.parallelize_and_check(c.nest, pool);
-    EXPECT_GT(r.runtime_tasks, 0) << c.name;
+    vdep::CompiledLoop loop = compiler.compile(c.nest).value();
+    // check() errors on any divergence from the sequential reference.
+    vdep::ExecReport r =
+        loop.check(vdep::ExecPolicy{}.mode(vdep::ExecMode::kStreaming), pool)
+            .value();
+    EXPECT_TRUE(r.verified) << c.name;
+    EXPECT_GT(r.tasks, 0) << c.name;
   }
 }
 
 TEST(Parallelizer, MaterializedModeStillWorks) {
-  core::PdmParallelizer::Options po;
-  po.emit_c = false;
-  po.measure = false;
-  po.exec_mode = core::ExecMode::Materialized;
-  core::PdmParallelizer p(po);
+  vdep::Compiler compiler;
   ThreadPool pool(3);
   for (const core::NamedNest& c : core::paper_suite(5)) {
-    core::Report r = p.parallelize_and_check(c.nest, pool);
-    EXPECT_EQ(r.runtime_tasks, 0) << c.name;  // counters are streaming-only
+    vdep::CompiledLoop loop = compiler.compile(c.nest).value();
+    vdep::ExecReport r =
+        loop.check(vdep::ExecPolicy{}.mode(vdep::ExecMode::kMaterialized),
+                   pool)
+            .value();
+    EXPECT_TRUE(r.verified) << c.name;
+    EXPECT_EQ(r.steals, 0) << c.name;  // steal counters are streaming-only
   }
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the always-built JSON benches and scrapes their line-protocol output
+# into one BENCH_runtime.json (one JSON object per line) — the per-PR perf
+# trajectory artifact committed to the repo and uploaded by CI.
+#
+#   tools/bench_scrape.sh [build-dir] [output-file]
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_runtime.json}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+"$build_dir"/bench_runtime_throughput | tee /dev/stderr >> "$tmp"
+"$build_dir"/bench_plan_cache | tee /dev/stderr >> "$tmp"
+
+grep '^{' "$tmp" > "$out"
+echo "wrote $(wc -l < "$out") json lines to $out" >&2
