@@ -1,0 +1,194 @@
+// Interpreter vs JIT streaming throughput across the paper suite.
+//
+// Both backends run the identical streaming runtime (same descriptors,
+// same work stealing); only leaf execution differs: the interpreter
+// backend walks expression trees per iteration, the JIT backend hands each
+// descriptor rectangle to a dlopen-ed native kernel compiled from
+// emit_c_range_kernel by the system toolchain. The postfix CompiledKernel
+// backend (the streaming default) is measured too, as the middle point.
+//
+// Output is one JSON object per line (scraped into BENCH_runtime.json):
+//   {"bench":"jit_speedup","name":...,"backend":"interpreter|compiled|jit",
+//    "threads":...,"n":...,"iterations":...,"seconds":...,"iters_per_sec":...}
+// plus a per-kernel comparison line and a final ALL geomean line.
+//
+// `--gate` exits non-zero unless every suite kernel actually ran natively
+// (no silent fallback) with a bit-identical checksum and the geomean
+// JIT-vs-interpreter speedup is >= 2.0 — the acceptance bar of the JIT PR.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/vdep.h"
+#include "core/suite.h"
+
+using namespace vdep;
+using intlin::i64;
+
+namespace {
+
+struct Sample {
+  i64 iterations = 0;
+  double seconds = 0;
+  i64 checksum = 0;
+  bool jit = false;
+  bool ok = false;
+  std::string error;
+};
+
+// Accumulates execute() runs (each from a fresh pattern-filled store) until
+// the measured time is stable enough to compare: >= `min_seconds` or
+// `max_reps`. Timing uses the report's own wall_ns, so store setup between
+// repetitions is excluded.
+Sample run_backend(const CompiledLoop& loop, ExecBackend backend,
+                   std::size_t threads, double min_seconds, int max_reps) {
+  Sample s;
+  exec::ArrayStore base(loop.nest());
+  base.fill_pattern();
+  {
+    // Warmup rep, untimed: the first kJit execute pays the toolchain
+    // (~tens of ms); steady-state throughput is what the gate compares —
+    // the amortization itself is bench_plan_cache / jit_test territory.
+    exec::ArrayStore store = base;
+    ExecPolicy policy;
+    policy.threads(threads).backend(backend);
+    Expected<ExecReport> r = loop.execute(policy, store);
+    if (!r) {
+      s.error = r.error().to_string();
+      return s;
+    }
+  }
+  for (int rep = 0; rep < max_reps && s.seconds < min_seconds; ++rep) {
+    exec::ArrayStore store = base;
+    ExecPolicy policy;
+    policy.threads(threads).backend(backend);
+    Expected<ExecReport> r = loop.execute(policy, store);
+    if (!r) {
+      s.error = r.error().to_string();
+      return s;
+    }
+    s.iterations += r->iterations;
+    s.seconds += static_cast<double>(r->wall_ns) * 1e-9;
+    s.checksum = r->checksum;
+    s.jit = r->jit;
+  }
+  s.ok = true;
+  return s;
+}
+
+void emit(const std::string& name, const char* backend, std::size_t threads,
+          i64 n, const Sample& s) {
+  std::printf(
+      "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"backend\":\"%s\","
+      "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
+      "\"iters_per_sec\":%.0f,\"jit\":%s}\n",
+      name.c_str(), backend, threads, static_cast<long long>(n),
+      static_cast<long long>(s.iterations), s.seconds,
+      s.seconds > 0 ? static_cast<double>(s.iterations) / s.seconds : 0.0,
+      s.jit ? "true" : "false");
+}
+
+double throughput(const Sample& s) {
+  return s.seconds > 0 ? static_cast<double>(s.iterations) / s.seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  for (int k = 1; k < argc; ++k)
+    if (std::strcmp(argv[k], "--gate") == 0) gate = true;
+
+  const std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  // Per-kernel sizes: big enough for a measurable single run, small enough
+  // that the tree-walking interpreter finishes the whole suite quickly.
+  const std::map<std::string, i64> sizes = {
+      {"sequential_chain", 300000}, {"variable_3deep", 50},
+      {"matmul_reduction", 64},
+      // Pascal-triangle value growth overflows the checked interpreter
+      // past n ~ 28 (values |A| <= 99 * C(2n, n)).
+      {"uniform_wavefront", 25},
+  };
+  const i64 default_n = 400;
+
+  Compiler compiler;
+  double log_sum_interp = 0, log_sum_compiled = 0;
+  int kernels = 0, fallbacks = 0, mismatches = 0;
+
+  for (core::NamedNest& c : core::paper_suite(default_n)) {
+    auto it = sizes.find(c.name);
+    i64 n = it != sizes.end() ? it->second : default_n;
+    loopir::LoopNest nest = n == default_n ? c.nest : [&] {
+      for (core::NamedNest& d : core::paper_suite(n))
+        if (d.name == c.name) return d.nest;
+      return c.nest;
+    }();
+
+    Expected<CompiledLoop> loop = compiler.compile(nest);
+    if (!loop) {
+      std::printf(
+          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"error\":\"%s\"}\n",
+          c.name.c_str(), loop.error().to_string().c_str());
+      ++fallbacks;
+      continue;
+    }
+
+    Sample interp = run_backend(*loop, ExecBackend::kInterpreter, threads,
+                                0.05, 50);
+    Sample compiled = run_backend(*loop, ExecBackend::kCompiled, threads,
+                                  0.05, 50);
+    Sample jit = run_backend(*loop, ExecBackend::kJit, threads, 0.05, 50);
+    if (!interp.ok || !compiled.ok || !jit.ok) {
+      std::printf(
+          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"error\":\"%s\"}\n",
+          c.name.c_str(),
+          (!interp.ok ? interp : !compiled.ok ? compiled : jit).error.c_str());
+      ++fallbacks;
+      continue;
+    }
+    emit(c.name, "interpreter", threads, n, interp);
+    emit(c.name, "compiled", threads, n, compiled);
+    emit(c.name, "jit", threads, n, jit);
+
+    bool identical = interp.checksum == jit.checksum &&
+                     interp.checksum == compiled.checksum;
+    double vs_interp = throughput(jit) / throughput(interp);
+    double vs_compiled = throughput(jit) / throughput(compiled);
+    std::printf(
+        "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"mode\":\"comparison\","
+        "\"threads\":%zu,\"n\":%lld,\"jit_vs_interpreter\":%.3f,"
+        "\"jit_vs_compiled\":%.3f,\"native\":%s,\"checksum_identical\":%s}\n",
+        c.name.c_str(), threads, static_cast<long long>(n), vs_interp,
+        vs_compiled, jit.jit ? "true" : "false", identical ? "true" : "false");
+
+    ++kernels;
+    if (!jit.jit) ++fallbacks;
+    if (!identical) ++mismatches;
+    log_sum_interp += std::log(vs_interp);
+    log_sum_compiled += std::log(vs_compiled);
+  }
+
+  double geo_interp = kernels ? std::exp(log_sum_interp / kernels) : 0.0;
+  double geo_compiled = kernels ? std::exp(log_sum_compiled / kernels) : 0.0;
+  std::printf(
+      "{\"bench\":\"jit_speedup\",\"name\":\"ALL\",\"kernels\":%d,"
+      "\"threads\":%zu,\"jit_vs_interpreter_geomean\":%.2f,"
+      "\"jit_vs_compiled_geomean\":%.2f,\"fallbacks\":%d,"
+      "\"checksum_mismatches\":%d,\"gate\":2.0}\n",
+      kernels, threads, geo_interp, geo_compiled, fallbacks, mismatches);
+
+  if (gate && (kernels == 0 || fallbacks > 0 || mismatches > 0 ||
+               geo_interp < 2.0)) {
+    std::fprintf(stderr,
+                 "jit gate FAILED: kernels=%d fallbacks=%d mismatches=%d "
+                 "geomean=%.2f (need >= 2.0)\n",
+                 kernels, fallbacks, mismatches, geo_interp);
+    return 1;
+  }
+  return 0;
+}

@@ -20,6 +20,28 @@ i64 elapsed_ns(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Memo key part carrying everything bounds-level the fingerprint ignores:
+// nest.to_string() renders loops and body but not array declarations, and
+// the structural fingerprint deliberately drops dims too (the analysis is
+// dim-independent, so nests differing only in array dims share one
+// artifact) — but emitted C and native kernels bake dims into flattening
+// strides and static sizes, so their memos must separate on them.
+std::string bounds_key(const loopir::LoopNest& nest) {
+  std::string key = nest.to_string();
+  for (const loopir::ArrayDecl& a : nest.arrays()) {
+    key += a.name;
+    key += '[';
+    for (auto [lo, hi] : a.dims) {
+      key += std::to_string(lo);
+      key += ':';
+      key += std::to_string(hi);
+      key += ',';
+    }
+    key += ']';
+  }
+  return key;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- options
@@ -39,12 +61,13 @@ std::string CodegenOptions::memo_key() const {
 
 const std::string& PlanArtifact::codegen(const loopir::LoopNest& nest,
                                          const CodegenOptions& opts) const {
-  // The artifact is bounds-free but emitted C is not (loop bounds and the
-  // body appear verbatim), so the memo key is the option key plus the full
-  // nest rendering. Handles at the same bounds share the emitted string.
+  // The artifact is bounds-free but emitted C is not (loop bounds, the
+  // body and the array dims appear verbatim), so the memo key is the
+  // option key plus the full bounds rendering. Handles at the same bounds
+  // share the emitted string.
   std::string key = opts.memo_key();
   key += '\n';
-  key += nest.to_string();
+  key += bounds_key(nest);
 
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
@@ -64,6 +87,48 @@ const std::string& PlanArtifact::codegen(const loopir::LoopNest& nest,
 
   std::lock_guard<std::mutex> lock(memo_mu_);
   return codegen_memo_.emplace(std::move(key), std::move(c)).first->second;
+}
+
+Expected<std::shared_ptr<const jit::NativeKernel>> PlanArtifact::jit_kernel(
+    const loopir::LoopNest& nest, const jit::JitOptions& opts) const {
+  // Keyed like the codegen memo: options + the bounds rendering (loop
+  // bounds AND array dims). Handles at the same bounds share the loaded
+  // .so.
+  std::string key = opts.memo_key();
+  key += '\n';
+  key += bounds_key(nest);
+
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (auto it = jit_memo_.find(key); it != jit_memo_.end())
+      return it->second;
+    if (auto it = jit_fail_memo_.find(key); it != jit_fail_memo_.end())
+      return it->second;
+  }
+
+  // No toolchain is a cheap, environment-level answer: never memoized, so
+  // a host that gains a compiler starts JITting without a new session.
+  jit::ToolchainCompiler tc(opts);
+  if (!tc.available())
+    return ApiError{ErrorKind::kUnsupported,
+                    "jit: no C toolchain found (set $VDEP_CC or put cc/gcc/"
+                    "clang on PATH)"};
+
+  // Emit + cc + dlopen outside the lock (the toolchain run dominates); a
+  // racing thread may build the same kernel, emplace keeps the first and
+  // the loser's .so unloads with its last shared_ptr.
+  Expected<std::shared_ptr<const jit::NativeKernel>> kernel =
+      tc.compile(nest, plan_.transform);
+
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!kernel) {
+    // Deterministic failures (range proof, cc error on these flags) would
+    // re-run a full toolchain subprocess on every execute(): memoize them
+    // per key so backend kJit degrades once, not per call.
+    return jit_fail_memo_.emplace(std::move(key), kernel.error())
+        .first->second;
+  }
+  return jit_memo_.emplace(std::move(key), std::move(*kernel)).first->second;
 }
 
 // -------------------------------------------------------------- handle
@@ -116,7 +181,23 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       so.grain = policy.grain();
       so.force_interpreter = policy.interpreter_only();
       runtime::StreamExecutor ex(*nest_, art_->plan().transform, so);
-      runtime::RuntimeStats rs = pool ? ex.run(store, *pool) : ex.run(store);
+
+      // Jit backend: run descriptor leaves through the memoized native
+      // kernel; any jit failure (no toolchain, range proof, cc error)
+      // degrades to the compiled-scan path below.
+      std::shared_ptr<const jit::NativeKernel> native;
+      if (policy.backend() == ExecBackend::kJit) {
+        Expected<std::shared_ptr<const jit::NativeKernel>> k =
+            art_->jit_kernel(*nest_, policy.jit_options());
+        if (k) native = *k;
+      }
+      runtime::RuntimeStats rs;
+      if (native) {
+        rs = pool ? ex.run(store, *native, *pool) : ex.run(store, *native);
+        rep.jit = true;
+      } else {
+        rs = pool ? ex.run(store, *pool) : ex.run(store);
+      }
       rep.iterations = rs.total_iterations();
       rep.tasks = rs.total_tasks();
       rep.steals = rs.total_steals();

@@ -25,6 +25,7 @@
 #include "codegen/emit_c.h"
 #include "dep/pdm.h"
 #include "exec/runner.h"
+#include "jit/toolchain.h"
 #include "support/expected.h"
 #include "trans/planner.h"
 
@@ -70,6 +71,14 @@ enum class ExecMode {
   kMaterialized,  ///< exec::build_schedule + ThreadPool replay
 };
 
+/// What runs the loop bodies (streaming mode).
+enum class ExecBackend {
+  kCompiled,     ///< postfix exec::CompiledKernel, interpreter fallback
+  kInterpreter,  ///< exact tree-walking interpreter, always
+  kJit,          ///< dlopen-ed native kernel; falls back to kCompiled when
+                 ///< no toolchain is available or the plan is not JITable
+};
+
 /// Builder-style execution policy (replaces core::Options::exec_mode and
 /// the ad-hoc StreamOptions plumbing at the API boundary).
 class ExecPolicy {
@@ -77,18 +86,28 @@ class ExecPolicy {
   ExecPolicy& mode(ExecMode m) { mode_ = m; return *this; }
   ExecPolicy& threads(std::size_t t) { threads_ = t; return *this; }
   ExecPolicy& grain(i64 g) { grain_ = g; return *this; }
-  ExecPolicy& interpreter_only(bool v = true) { interpreter_only_ = v; return *this; }
+  ExecPolicy& backend(ExecBackend b) { backend_ = b; return *this; }
+  /// Deprecated spelling of backend(kInterpreter).
+  ExecPolicy& interpreter_only(bool v = true) {
+    backend_ = v ? ExecBackend::kInterpreter : ExecBackend::kCompiled;
+    return *this;
+  }
+  /// Toolchain/flag options used when backend() == kJit.
+  ExecPolicy& jit_options(jit::JitOptions o) { jit_ = std::move(o); return *this; }
 
   ExecMode mode() const { return mode_; }
   std::size_t threads() const { return threads_; }  ///< 0 = hardware
   i64 grain() const { return grain_; }              ///< 0 = automatic
-  bool interpreter_only() const { return interpreter_only_; }
+  ExecBackend backend() const { return backend_; }
+  bool interpreter_only() const { return backend_ == ExecBackend::kInterpreter; }
+  const jit::JitOptions& jit_options() const { return jit_; }
 
  private:
   ExecMode mode_ = ExecMode::kStreaming;
   std::size_t threads_ = 0;
   i64 grain_ = 0;
-  bool interpreter_only_ = false;
+  ExecBackend backend_ = ExecBackend::kCompiled;
+  jit::JitOptions jit_;
 };
 
 // -------------------------------------------------------------- artifacts
@@ -118,6 +137,7 @@ struct ExecReport {
   i64 wall_ns = 0;
   i64 checksum = 0;      ///< final store digest
   bool verified = false; ///< true when produced by check()
+  bool jit = false;      ///< true when a native kernel ran the bodies
 };
 
 /// The cached unit: fingerprint + the two structure-only stages, plus a
@@ -141,6 +161,18 @@ class PlanArtifact {
   const std::string& codegen(const loopir::LoopNest& nest,
                              const CodegenOptions& opts) const;
 
+  /// Native kernel for `nest` under `opts`: emitted, toolchain-compiled
+  /// and dlopen-ed on first request, then memoized per (bounds, options)
+  /// beside the codegen memo — a plan-cache hit at the same bounds reuses
+  /// the already-loaded .so, and new bounds only re-run emission + cc,
+  /// never the analysis. Errors (kUnsupported) when no toolchain exists
+  /// or the nest fails the subscript range proof. Deterministic failures
+  /// (proof, cc error) are memoized per key like successes; the
+  /// no-toolchain answer is not, so an environment that gains a compiler
+  /// starts JITting without a new session.
+  Expected<std::shared_ptr<const jit::NativeKernel>> jit_kernel(
+      const loopir::LoopNest& nest, const jit::JitOptions& opts) const;
+
  private:
   Fingerprint fp_;
   LoopAnalysis analysis_;
@@ -148,6 +180,9 @@ class PlanArtifact {
 
   mutable std::mutex memo_mu_;
   mutable std::map<std::string, std::string> codegen_memo_;
+  mutable std::map<std::string, std::shared_ptr<const jit::NativeKernel>>
+      jit_memo_;
+  mutable std::map<std::string, ApiError> jit_fail_memo_;
 };
 
 // ----------------------------------------------------------------- handle
@@ -171,6 +206,18 @@ class CompiledLoop {
   /// Lazily emitted C for this handle's bounds, memoized per option set.
   const std::string& codegen(const CodegenOptions& opts = {}) const {
     return art_->codegen(*nest_, opts);
+  }
+
+  /// Stage 5 — the JIT: a native range kernel for this handle's bounds,
+  /// lazy and memoized in the shared artifact (same .so for every handle
+  /// at these bounds; recompiling the structure is a plan-cache hit, so
+  /// the toolchain cost amortizes exactly like codegen). Errors
+  /// (kUnsupported) when no C toolchain is on PATH / $VDEP_CC, the host
+  /// cannot dlopen, or the nest fails the subscript range proof —
+  /// execute() with ExecBackend::kJit degrades to the scan path instead.
+  Expected<std::shared_ptr<const jit::NativeKernel>> jit(
+      const jit::JitOptions& opts = {}) const {
+    return art_->jit_kernel(*nest_, opts);
   }
 
   /// Parallelism of this handle's bounded space: independent work items,

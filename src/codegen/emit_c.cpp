@@ -141,6 +141,50 @@ void emit_plain_loops(std::ostringstream& os, const LoopNest& nest,
   }
 }
 
+// Inside an already-open `vdep_class` loop: decode the mixed-radix class
+// label into q0..q{dim-1}, emit the Theorem-2 strided scan loops with
+// skewed offsets (paper loop (3.2)), the body (plus `count_stmt`, when
+// non-empty, once per iteration), and close the strided loops again.
+void emit_partition_scan(std::ostringstream& os, const LoopNest& nest,
+                         const trans::Partitioning& part, int start,
+                         const std::vector<std::string>& names,
+                         std::string& indent, const std::string& count_stmt) {
+  const Mat& h = part.lattice_basis();
+  os << indent << "int64_t vdep_rest = vdep_class;\n";
+  for (int k = part.dim() - 1; k >= 0; --k) {
+    os << indent << "const int64_t q" << k << " = vdep_rest % "
+       << h.at(k, k) << "; vdep_rest /= " << h.at(k, k) << ";\n";
+  }
+
+  for (int k = 0; k < part.dim(); ++k) {
+    const loopir::Level& l = nest.level(start + k);
+    i64 hkk = h.at(k, k);
+    // Effective offset with skew terms from outer t coefficients.
+    os << indent << "const int64_t off" << k << " = q" << k;
+    for (int m = 0; m < k; ++m)
+      if (h.at(m, k) != 0) os << " + t" << m << " * " << h.at(m, k);
+    os << ";\n";
+    os << indent << "const int64_t lo" << k << " = "
+       << c_bound(l.lower, true, names) << ";\n";
+    os << indent << "for (int64_t " << l.name << " = lo" << k
+       << " + vdep_mod(off" << k << " - lo" << k << ", " << hkk << "); "
+       << l.name << " <= " << c_bound(l.upper, false, names) << "; " << l.name
+       << " += " << hkk << ") {\n";
+    indent += "  ";
+    if (k + 1 < part.dim())
+      os << indent << "const int64_t t" << k << " = (" << l.name << " - off"
+         << k << ") / " << hkk << ";\n";
+  }
+
+  emit_body(os, nest, names, indent);
+  if (!count_stmt.empty()) os << indent << count_stmt << "\n";
+
+  for (int k = part.dim() - 1; k >= 0; --k) {
+    indent.resize(indent.size() - 2);
+    os << indent << "}\n";
+  }
+}
+
 void emit_main(std::ostringstream& os, const LoopNest& nest,
                const EmitOptions& opts) {
   os << "\nint main(void) {\n";
@@ -213,46 +257,12 @@ std::string emit_c_transformed(const LoopNest& original,
   }
 
   // Class loop.
-  const Mat& h = part.lattice_basis();
   os << indent;
   if (opts.openmp && start == 0) os << "#pragma omp parallel for\n" << indent;
   os << "for (int64_t vdep_class = 0; vdep_class < " << part.num_classes()
      << "; ++vdep_class) {  /* doall: independent residue classes */\n";
   indent += "  ";
-  // Decode the mixed-radix label.
-  os << indent << "int64_t vdep_rest = vdep_class;\n";
-  for (int k = part.dim() - 1; k >= 0; --k) {
-    os << indent << "const int64_t q" << k << " = vdep_rest % "
-       << h.at(k, k) << "; vdep_rest /= " << h.at(k, k) << ";\n";
-  }
-
-  // Strided inner loops.
-  for (int k = 0; k < part.dim(); ++k) {
-    const loopir::Level& l = nest.level(start + k);
-    i64 hkk = h.at(k, k);
-    // Effective offset with skew terms from outer t coefficients.
-    os << indent << "const int64_t off" << k << " = q" << k;
-    for (int m = 0; m < k; ++m)
-      if (h.at(m, k) != 0) os << " + t" << m << " * " << h.at(m, k);
-    os << ";\n";
-    os << indent << "const int64_t lo" << k << " = "
-       << c_bound(l.lower, true, names) << ";\n";
-    os << indent << "for (int64_t " << l.name << " = lo" << k
-       << " + vdep_mod(off" << k << " - lo" << k << ", " << hkk << "); "
-       << l.name << " <= " << c_bound(l.upper, false, names) << "; " << l.name
-       << " += " << hkk << ") {\n";
-    indent += "  ";
-    if (k + 1 < part.dim())
-      os << indent << "const int64_t t" << k << " = (" << l.name << " - off"
-         << k << ") / " << hkk << ";\n";
-  }
-
-  emit_body(os, nest, names, indent);
-
-  for (int k = part.dim() - 1; k >= 0; --k) {
-    indent.resize(indent.size() - 2);
-    os << indent << "}\n";
-  }
+  emit_partition_scan(os, nest, part, start, names, indent, "");
   indent.resize(indent.size() - 2);
   os << indent << "}\n";
   for (int k = start - 1; k >= 0; --k) {
@@ -261,6 +271,123 @@ std::string emit_c_transformed(const LoopNest& original,
   }
   os << "}\n";
   if (opts.with_main) emit_main(os, nest, opts);
+  return os.str();
+}
+
+std::string emit_c_range_kernel(const LoopNest& original,
+                                const trans::TransformPlan& plan,
+                                const std::string& entry_name) {
+  TransformedNest tn = rewrite_nest(original, plan);
+  const LoopNest& nest = tn.nest;
+  const int nd = plan.num_doall;
+  const int depth = nest.depth();
+  std::vector<std::string> names = nest.index_names();
+
+  std::ostringstream os;
+  os << "/* Generated by vdep: JIT range kernel (T = " << plan.t.to_string()
+     << ", " << nd << " outer DOALL loop(s), " << plan.partition_classes
+     << " partition class(es)). */\n";
+  os << "#include <stdint.h>\n\n"
+     << "static inline int64_t vdep_max(int64_t a, int64_t b) { return a > b ? a : b; }\n"
+     << "static inline int64_t vdep_min(int64_t a, int64_t b) { return a < b ? a : b; }\n"
+     << "static inline int64_t vdep_floordiv(int64_t a, int64_t b) {\n"
+     << "  int64_t q = a / b, r = a % b;\n"
+     << "  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;\n"
+     << "}\n"
+     << "static inline int64_t vdep_ceildiv(int64_t a, int64_t b) {\n"
+     << "  int64_t q = a / b, r = a % b;\n"
+     << "  return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;\n"
+     << "}\n"
+     << "static inline int64_t vdep_mod(int64_t a, int64_t b) {\n"
+     << "  int64_t m = a % b;\n"
+     << "  return m < 0 ? m + (b < 0 ? -b : b) : m;\n"
+     << "}\n\n";
+
+  // Arrays are raw row-major buffers handed in by the runtime in
+  // declaration order; the macros reproduce emit_arrays' flattening with
+  // declared lower bounds, only over vdep_buf_<k> instead of a static.
+  const auto& arrays = nest.arrays();
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    const loopir::ArrayDecl& d = arrays[a];
+    os << "#define " << d.name << "(";
+    for (int k = 0; k < d.arity(); ++k) os << (k ? ", " : "") << "x" << k;
+    os << ") vdep_buf_" << a << "[";
+    std::string idx;
+    for (int k = 0; k < d.arity(); ++k) {
+      auto [lo, hi] = d.dims[static_cast<std::size_t>(k)];
+      std::string term =
+          "((x" + std::to_string(k) + ") - (" + std::to_string(lo) + "))";
+      idx = idx.empty() ? term
+                        : "(" + idx + ") * " + std::to_string(hi - lo + 1) +
+                              " + " + term;
+    }
+    os << idx << "]\n";
+  }
+
+  os << "\nint64_t " << entry_name
+     << "(int64_t** vdep_arrays, int64_t vdep_outer_lo, int64_t vdep_outer_hi,\n"
+     << "    int64_t vdep_class_lo, int64_t vdep_class_hi) {\n";
+  for (std::size_t a = 0; a < arrays.size(); ++a)
+    os << "  int64_t* restrict vdep_buf_" << a << " = vdep_arrays[" << a
+       << "];\n";
+  os << "  int64_t vdep_count = 0;\n";
+  if (nd == 0)
+    os << "  (void)vdep_outer_lo; (void)vdep_outer_hi;\n";
+
+  std::string indent = "  ";
+  // Outer DOALL prefix: level 0 is the descriptor's outer range, the rest
+  // scan their full bounds (matches runtime::StreamExecutor::execute_leaf).
+  if (nd > 0) {
+    const loopir::Level& l0 = nest.level(0);
+    os << indent << "for (int64_t " << l0.name << " = vdep_outer_lo; "
+       << l0.name << " <= vdep_outer_hi; ++" << l0.name << ") {\n";
+    indent += "  ";
+    for (int k = 1; k < nd; ++k) {
+      const loopir::Level& l = nest.level(k);
+      os << indent << "for (int64_t " << l.name << " = "
+         << c_bound(l.lower, true, names) << "; " << l.name
+         << " <= " << c_bound(l.upper, false, names) << "; ++" << l.name
+         << ") {\n";
+      indent += "  ";
+    }
+  }
+
+  os << indent << "for (int64_t vdep_class = vdep_class_lo; vdep_class < "
+     << "vdep_class_hi; ++vdep_class) {\n";
+  indent += "  ";
+  if (plan.partition.has_value()) {
+    emit_partition_scan(os, nest, *plan.partition, nd, names, indent,
+                        "++vdep_count;");
+  } else {
+    // Unpartitioned tail (class range is the degenerate [0, 1)).
+    os << indent << "(void)vdep_class;\n";
+    int opened = 0;
+    for (int k = nd; k < depth; ++k) {
+      const loopir::Level& l = nest.level(k);
+      os << indent << "for (int64_t " << l.name << " = "
+         << c_bound(l.lower, true, names) << "; " << l.name
+         << " <= " << c_bound(l.upper, false, names) << "; ++" << l.name
+         << ") {\n";
+      indent += "  ";
+      ++opened;
+    }
+    emit_body(os, nest, names, indent);
+    os << indent << "++vdep_count;\n";
+    for (int k = 0; k < opened; ++k) {
+      indent.resize(indent.size() - 2);
+      os << indent << "}\n";
+    }
+  }
+  indent.resize(indent.size() - 2);
+  os << indent << "}\n";
+
+  if (nd > 0) {
+    for (int k = nd - 1; k >= 0; --k) {
+      indent.resize(indent.size() - 2);
+      os << indent << "}\n";
+    }
+  }
+  os << "  return vdep_count;\n}\n";
   return os.str();
 }
 

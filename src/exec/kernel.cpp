@@ -1,0 +1,37 @@
+#include "exec/kernel.h"
+
+#include "poly/constraints.h"
+#include "support/checked.h"
+#include "support/error.h"
+
+namespace vdep::exec {
+
+void prove_subscript_ranges(const loopir::LoopNest& nest) {
+  poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(nest);
+  std::vector<std::pair<i64, i64>> box;
+  for (int k = 0; k < nest.depth(); ++k) {
+    auto r = cs.variable_range(k);
+    if (!r.has_value())
+      throw UnsupportedError("unbounded loop cannot be range-proven");
+    box.push_back(*r);
+  }
+  nest.for_each_access([&](const loopir::ArrayRef& ref, int, bool) {
+    const loopir::ArrayDecl& decl = nest.array(ref.array);
+    for (int d = 0; d < decl.arity(); ++d) {
+      const loopir::AffineExpr& s = ref.subscripts[static_cast<std::size_t>(d)];
+      auto [lo, hi] = decl.dims[static_cast<std::size_t>(d)];
+      i64 smin = s.constant_term(), smax = s.constant_term();
+      for (int k = 0; k < nest.depth(); ++k) {
+        i64 c = s.coeff(k);
+        auto [bl, bh] = box[static_cast<std::size_t>(k)];
+        smin = checked::add(smin, checked::mul(c, c >= 0 ? bl : bh));
+        smax = checked::add(smax, checked::mul(c, c >= 0 ? bh : bl));
+      }
+      if (smin < lo || smax > hi)
+        throw UnsupportedError("subscript of " + ref.array +
+                               " can leave the declared range");
+    }
+  });
+}
+
+}  // namespace vdep::exec

@@ -1,0 +1,40 @@
+// Descriptor-granularity kernel interface of the streaming runtime.
+//
+// The scan path (runtime::StreamExecutor + exec::CompiledKernel) regenerates
+// iterations in C++ and dispatches each one through a per-iteration body
+// callback. A RangeKernel instead owns the *whole* leaf rectangle
+//
+//     [outer_lo, outer_hi]  x  [class_lo, class_hi)
+//
+// of a runtime::TaskDescriptor: bounds evaluation, the Theorem-2 strided
+// class scan and the statement bodies all execute inside one call, which is
+// what lets a dlopen-ed native kernel (jit::NativeKernel) run descriptor
+// leaves with zero per-iteration dispatch. Legality (Lemma 1 x Theorem 2)
+// makes disjoint rectangles write disjoint cells, so concurrent calls on
+// one shared store are safe.
+#pragma once
+
+#include "exec/array_store.h"
+
+namespace vdep::exec {
+
+class RangeKernel {
+ public:
+  virtual ~RangeKernel() = default;
+
+  /// Executes every iteration of the descriptor rectangle over `store` and
+  /// returns the number of iterations run. When the plan has no outer DOALL
+  /// dimension the outer range is the degenerate [0, 0] and is ignored.
+  /// Must be safe to call concurrently for disjoint rectangles.
+  virtual i64 execute_range(ArrayStore& store, i64 outer_lo, i64 outer_hi,
+                            i64 class_lo, i64 class_hi) const = 0;
+};
+
+/// One-time subscript range proof over the rectangular hull of `nest`'s
+/// iteration space: every affine subscript's extremes must stay inside the
+/// declared array dims, so a kernel needs no per-access bounds checks.
+/// Throws UnsupportedError when the proof fails or a loop is unbounded
+/// (same rule exec::CompiledKernel applies at construction).
+void prove_subscript_ranges(const loopir::LoopNest& nest);
+
+}  // namespace vdep::exec

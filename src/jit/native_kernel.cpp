@@ -1,0 +1,26 @@
+#include "jit/native_kernel.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#define VDEP_JIT_POSIX 1
+#endif
+
+namespace vdep::jit {
+
+NativeKernel::~NativeKernel() {
+#ifdef VDEP_JIT_POSIX
+  if (handle_) dlclose(handle_);
+#endif
+}
+
+i64 NativeKernel::execute_range(exec::ArrayStore& store, i64 outer_lo,
+                                i64 outer_hi, i64 class_lo,
+                                i64 class_hi) const {
+  std::vector<std::int64_t*> bufs;
+  bufs.reserve(arrays_.size());
+  for (const std::string& name : arrays_)
+    bufs.push_back(store.raw_mutable(name).data());
+  return fn_(bufs.data(), outer_lo, outer_hi, class_lo, class_hi);
+}
+
+}  // namespace vdep::jit

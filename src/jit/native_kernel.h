@@ -1,0 +1,63 @@
+// A dlopen-ed native range kernel.
+//
+// NativeKernel wraps one shared object produced by jit::ToolchainCompiler
+// from the emit_c_range_kernel TU of a plan: the resolved entry point runs
+// a whole runtime::TaskDescriptor rectangle (outer DOALL range x class
+// range) with zero per-iteration dispatch, which is what the streaming
+// workers call through exec::RangeKernel. The object stays mapped for the
+// kernel's lifetime; the backing file is unlinked right after dlopen
+// (POSIX keeps the mapping alive) unless JitOptions::keep_artifacts.
+//
+// Safety: the kernel indexes raw buffers without bounds checks, so a
+// kernel is only ever built after exec::prove_subscript_ranges certified
+// every subscript's extremes over the iteration box — the same one-time
+// proof exec::CompiledKernel performs. Nests that fail the proof never
+// reach the toolchain and fall back to the scan path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/kernel.h"
+
+namespace vdep::jit {
+
+using intlin::i64;
+
+class NativeKernel final : public exec::RangeKernel {
+ public:
+  NativeKernel(const NativeKernel&) = delete;
+  NativeKernel& operator=(const NativeKernel&) = delete;
+  ~NativeKernel() override;
+
+  /// Runs the descriptor rectangle through the native entry point. Binds
+  /// the store's buffers by declaration-order name on every call (cheap at
+  /// descriptor granularity); safe concurrently for disjoint rectangles.
+  i64 execute_range(exec::ArrayStore& store, i64 outer_lo, i64 outer_hi,
+                    i64 class_lo, i64 class_hi) const override;
+
+  /// The emitted C of the loaded kernel (diagnostics / tests).
+  const std::string& source() const { return source_; }
+  /// Path of the .so; empty once unlinked (the default lifecycle).
+  const std::string& library_path() const { return so_path_; }
+
+ private:
+  friend class ToolchainCompiler;
+  using EntryFn = std::int64_t (*)(std::int64_t**, std::int64_t, std::int64_t,
+                                   std::int64_t, std::int64_t);
+  NativeKernel(void* handle, EntryFn fn, std::vector<std::string> arrays,
+               std::string source, std::string so_path)
+      : handle_(handle),
+        fn_(fn),
+        arrays_(std::move(arrays)),
+        source_(std::move(source)),
+        so_path_(std::move(so_path)) {}
+
+  void* handle_ = nullptr;
+  EntryFn fn_ = nullptr;
+  std::vector<std::string> arrays_;  ///< buffer bind order (declaration order)
+  std::string source_;
+  std::string so_path_;
+};
+
+}  // namespace vdep::jit

@@ -1,0 +1,224 @@
+#include "jit/toolchain.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emit_c.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define VDEP_JIT_POSIX 1
+#endif
+
+namespace vdep::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kEntryName = "vdep_range_kernel";
+
+/// True when `path` names an existing regular file this process may exec.
+bool is_executable(const fs::path& path) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) return false;
+#ifdef VDEP_JIT_POSIX
+  return ::access(path.c_str(), X_OK) == 0;
+#else
+  return false;
+#endif
+}
+
+/// Resolves a driver name against $PATH (no shell involved).
+std::optional<std::string> find_on_path(const std::string& name) {
+  if (name.find('/') != std::string::npos) {
+    return is_executable(name) ? std::optional<std::string>(name)
+                               : std::nullopt;
+  }
+  const char* path = std::getenv("PATH");
+  if (!path) return std::nullopt;
+  std::istringstream dirs(path);
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) continue;
+    fs::path candidate = fs::path(dir) / name;
+    if (is_executable(candidate)) return candidate.string();
+  }
+  return std::nullopt;
+}
+
+/// Single-quotes `s` for /bin/sh.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "'\\''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string read_file(const fs::path& p, std::size_t max_bytes) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::string s = os.str();
+  if (s.size() > max_bytes) s.resize(max_bytes);
+  return s;
+}
+
+/// A fresh private directory under `base` (mkdtemp when available).
+Expected<std::string> make_work_dir(const std::string& base) {
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) return ApiError{ErrorKind::kUnsupported,
+                          "jit: no usable temp directory: " + ec.message()};
+  fs::create_directories(root, ec);
+#ifdef VDEP_JIT_POSIX
+  std::string templ = (root / "vdep-jit-XXXXXX").string();
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (!::mkdtemp(buf.data()))
+    return ApiError{ErrorKind::kUnsupported,
+                    "jit: mkdtemp failed under " + root.string()};
+  return std::string(buf.data());
+#else
+  return ApiError{ErrorKind::kUnsupported,
+                  "jit: native kernels need a POSIX host"};
+#endif
+}
+
+}  // namespace
+
+std::string JitOptions::memo_key() const {
+  std::string key = "cc=";
+  key += compiler;
+  key += ";flags=";
+  key += extra_flags;
+  key += ";keep=";
+  key += keep_artifacts ? '1' : '0';
+  return key;
+}
+
+std::optional<std::string> discover_toolchain(const std::string& preferred) {
+  if (!preferred.empty()) return find_on_path(preferred);
+  if (const char* env = std::getenv("VDEP_CC"); env && *env)
+    if (auto cc = find_on_path(env)) return cc;
+  for (const char* name : {"cc", "gcc", "clang"})
+    if (auto cc = find_on_path(name)) return cc;
+  return std::nullopt;
+}
+
+ToolchainCompiler::ToolchainCompiler(JitOptions opts)
+    : opts_(std::move(opts)), cc_(discover_toolchain(opts_.compiler)) {}
+
+Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile(
+    const loopir::LoopNest& original, const trans::TransformPlan& plan) const {
+  // The emitted kernel indexes raw buffers unchecked; refuse nests whose
+  // subscripts the box proof cannot certify (they interpret instead).
+  try {
+    exec::prove_subscript_ranges(original);
+  } catch (const Error& e) {
+    return ApiError{ErrorKind::kUnsupported,
+                    std::string("jit: range proof failed: ") + e.what()};
+  }
+  std::string source;
+  try {
+    source = codegen::emit_c_range_kernel(original, plan, kEntryName);
+  } catch (const Error& e) {
+    return ApiError{ErrorKind::kUnsupported,
+                    std::string("jit: emission failed: ") + e.what()};
+  }
+  std::vector<std::string> order;
+  for (const loopir::ArrayDecl& a : original.arrays()) order.push_back(a.name);
+  return compile_source(source, kEntryName, std::move(order));
+}
+
+Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
+    const std::string& c_source, const std::string& entry_name,
+    std::vector<std::string> array_order) const {
+#ifndef VDEP_JIT_POSIX
+  (void)c_source; (void)entry_name; (void)array_order;
+  return ApiError{ErrorKind::kUnsupported,
+                  "jit: native kernels need a POSIX host (dlopen)"};
+#else
+  if (!cc_)
+    return ApiError{ErrorKind::kUnsupported,
+                    "jit: no C toolchain found (set $VDEP_CC or put cc/gcc/"
+                    "clang on PATH)"};
+
+  Expected<std::string> dir = make_work_dir(opts_.work_dir);
+  if (!dir) return dir.error();
+  fs::path work(*dir);
+  fs::path c_path = work / "kernel.c";
+  fs::path so_path = work / "kernel.so";
+  fs::path log_path = work / "cc.log";
+  {
+    std::ofstream out(c_path);
+    out << c_source;
+    if (!out) {
+      return ApiError{ErrorKind::kUnsupported,
+                      "jit: cannot write " + c_path.string()};
+    }
+  }
+
+  // -fwrapv: suite kernels (e.g. uniform_wavefront) overflow i64 at large
+  // sizes. The postfix CompiledKernel computes with plain (two's-
+  // complement-wrapping in practice) C++ arithmetic, so the native kernel
+  // must wrap identically rather than let the C optimizer exploit the UB.
+  // (The tree-walking interpreter is stricter still — checked:: arithmetic
+  // that *throws* on overflow — so kInterpreter errors where kCompiled and
+  // kJit agree on wrapped values.)
+  std::string cmd = shell_quote(*cc_) + " -O2 -fwrapv -fPIC -shared -x c " +
+                    shell_quote(c_path.string()) + " -o " +
+                    shell_quote(so_path.string());
+  if (!opts_.extra_flags.empty()) cmd += " " + opts_.extra_flags;
+  cmd += " 2> " + shell_quote(log_path.string());
+
+  int rc = std::system(cmd.c_str());
+  bool ok = rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
+  if (!ok) {
+    std::string log = read_file(log_path, 2000);
+    std::error_code ec;
+    if (!opts_.keep_artifacts) fs::remove_all(work, ec);
+    return ApiError{ErrorKind::kUnsupported,
+                    "jit: toolchain '" + *cc_ + "' failed: " + log};
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* err = dlerror();
+    std::error_code ec;
+    if (!opts_.keep_artifacts) fs::remove_all(work, ec);
+    return ApiError{ErrorKind::kUnsupported,
+                    std::string("jit: dlopen failed: ") + (err ? err : "")};
+  }
+  auto fn = reinterpret_cast<NativeKernel::EntryFn>(
+      dlsym(handle, entry_name.c_str()));
+  if (!fn) {
+    dlclose(handle);
+    std::error_code ec;
+    if (!opts_.keep_artifacts) fs::remove_all(work, ec);
+    return ApiError{ErrorKind::kInternal,
+                    "jit: entry symbol '" + entry_name + "' not found"};
+  }
+
+  std::string kept_path;
+  if (opts_.keep_artifacts) {
+    kept_path = so_path.string();
+  } else {
+    // The mapping survives the unlink (POSIX); nothing is left on disk.
+    std::error_code ec;
+    fs::remove_all(work, ec);
+  }
+  return std::shared_ptr<const NativeKernel>(new NativeKernel(
+      handle, fn, std::move(array_order), c_source, kept_path));
+#endif
+}
+
+}  // namespace vdep::jit

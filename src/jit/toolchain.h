@@ -1,0 +1,77 @@
+// JIT compilation through the system C toolchain.
+//
+// The pipeline per kernel: prove subscript ranges (exec/kernel.h), emit the
+// range-kernel TU (codegen/emit_c.h), write it to a private mkdtemp
+// directory, invoke `cc -O2 -fPIC -shared`, dlopen the product and resolve
+// the entry point into a jit::NativeKernel. Everything is Expected-based:
+// a missing toolchain, a failed range proof or a compiler error all come
+// back as inspectable ApiError values so callers (api/compiled_loop.cpp,
+// the streaming runtime's Jit backend) can fall back to the interpreter
+// scan path instead of crashing.
+//
+// Toolchain discovery never shells out: $VDEP_CC is honoured first (path
+// or driver name), then cc/gcc/clang are searched on $PATH with an
+// executable-bit check. A scrubbed PATH therefore yields a clean
+// "unavailable" result, which the no-toolchain tests pin down.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jit/native_kernel.h"
+#include "support/expected.h"
+#include "trans/planner.h"
+
+namespace vdep::jit {
+
+struct JitOptions {
+  /// Compiler driver; "" = discover ($VDEP_CC, then cc/gcc/clang on PATH).
+  std::string compiler;
+  /// Extra flags appended verbatim to the compile line (e.g. "-march=native").
+  std::string extra_flags;
+  /// Directory for the temp TU/.so; "" = the system temp directory.
+  std::string work_dir;
+  /// Keep the generated .c and .so on disk (debugging; default unlinks
+  /// them as soon as the object is mapped).
+  bool keep_artifacts = false;
+
+  /// Canonical memoization key of this option set (api plan-cache memo).
+  std::string memo_key() const;
+};
+
+/// Absolute path of a usable C compiler driver, or nullopt. A non-empty
+/// `preferred` (a path or a driver name) is authoritative: it resolves or
+/// discovery fails — an explicitly requested compiler is never silently
+/// substituted. Only when `preferred` is empty does the default chain run:
+/// $VDEP_CC, then cc, gcc, clang looked up on $PATH.
+std::optional<std::string> discover_toolchain(const std::string& preferred = "");
+
+class ToolchainCompiler {
+ public:
+  explicit ToolchainCompiler(JitOptions opts = {});
+
+  /// Whether a compiler driver was found at construction.
+  bool available() const { return cc_.has_value(); }
+  const std::optional<std::string>& compiler_path() const { return cc_; }
+
+  /// Full pipeline: range proof, emit, compile, load. The entry symbol is
+  /// private to the library (RTLD_LOCAL), so kernels never collide.
+  Expected<std::shared_ptr<const NativeKernel>> compile(
+      const loopir::LoopNest& original,
+      const trans::TransformPlan& plan) const;
+
+  /// Lower level: compiles an arbitrary C TU and resolves `entry_name`.
+  /// `array_order` is the declaration-order buffer binding of the entry's
+  /// int64_t** argument.
+  Expected<std::shared_ptr<const NativeKernel>> compile_source(
+      const std::string& c_source, const std::string& entry_name,
+      std::vector<std::string> array_order) const;
+
+ private:
+  JitOptions opts_;
+  std::optional<std::string> cc_;
+};
+
+}  // namespace vdep::jit

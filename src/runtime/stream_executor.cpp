@@ -158,7 +158,7 @@ void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
 }
 
 RuntimeStats StreamExecutor::drive(
-    const std::function<std::function<void(const Vec&)>(int)>& body_factory,
+    const std::function<LeafFn(int, WorkerStats&)>& leaf_factory,
     ThreadPool* pool) const {
   RuntimeStats out;
   out.workers.resize(threads_);
@@ -181,13 +181,8 @@ RuntimeStats StreamExecutor::drive(
 
   const int n = static_cast<int>(threads_);
   auto worker_main = [&](int id) {
-    Worker w;
-    w.id = id;
-    w.stats = &out.workers[static_cast<std::size_t>(id)];
-    w.j.assign(static_cast<std::size_t>(depth_), 0);
-    w.orig.assign(static_cast<std::size_t>(depth_), 0);
-    w.body = body_factory(id);
-    w.emit_j = [this, &w](const Vec&) { emit(w); };
+    WorkerStats& stats = out.workers[static_cast<std::size_t>(id)];
+    LeafFn leaf = leaf_factory(id, stats);
 
     auto process = [&](TaskDescriptor task) {
       i64 t0 = now_ns();
@@ -197,18 +192,18 @@ RuntimeStats StreamExecutor::drive(
         while (can_split(task, grain_, has_outer())) {
           TaskDescriptor high = split(task, grain_, has_outer());
           pending.fetch_add(1, std::memory_order_relaxed);
-          deques[static_cast<std::size_t>(w.id)]->push(high);
-          ++w.stats->splits;
+          deques[static_cast<std::size_t>(id)]->push(high);
+          ++stats.splits;
         }
-        execute_leaf(task, w);
-        ++w.stats->tasks;
+        leaf(task);
+        ++stats.tasks;
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         abort.store(true, std::memory_order_release);
       }
       pending.fetch_sub(1, std::memory_order_acq_rel);
-      w.stats->busy_ns += now_ns() - t0;
+      stats.busy_ns += now_ns() - t0;
     };
 
     int idle_sweeps = 0;
@@ -225,7 +220,7 @@ RuntimeStats StreamExecutor::drive(
       for (int k = 1; k < n && !stolen; ++k) {
         std::size_t victim = static_cast<std::size_t>((id + k) % n);
         if (deques[victim]->steal(task)) {
-          ++w.stats->steals;
+          ++stats.steals;
           stolen = true;
         }
       }
@@ -263,6 +258,52 @@ RuntimeStats StreamExecutor::drive(
   return out;
 }
 
+RuntimeStats StreamExecutor::drive_scan(
+    const std::function<std::function<void(const Vec&)>(int)>& body_factory,
+    ThreadPool* pool) const {
+  return drive(
+      [&](int id, WorkerStats& stats) -> LeafFn {
+        // The Worker outlives the factory call (it is captured by the leaf
+        // closure), so it lives on the heap, one per worker context.
+        auto w = std::make_shared<Worker>();
+        w->id = id;
+        w->stats = &stats;
+        w->j.assign(static_cast<std::size_t>(depth_), 0);
+        w->orig.assign(static_cast<std::size_t>(depth_), 0);
+        w->body = body_factory(id);
+        Worker* wp = w.get();
+        w->emit_j = [this, wp](const Vec&) { emit(*wp); };
+        return [this, w](const TaskDescriptor& task) {
+          execute_leaf(task, *w);
+        };
+      },
+      pool);
+}
+
+RuntimeStats StreamExecutor::run_kernel_impl(exec::ArrayStore& store,
+                                             const exec::RangeKernel& kernel,
+                                             ThreadPool* pool) const {
+  return drive(
+      [&kernel, &store](int, WorkerStats& stats) -> LeafFn {
+        return [&kernel, &store, &stats](const TaskDescriptor& t) {
+          stats.iterations += kernel.execute_range(
+              store, t.outer_lo, t.outer_hi, t.class_lo, t.class_hi);
+        };
+      },
+      pool);
+}
+
+RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
+                                 const exec::RangeKernel& kernel) const {
+  return run_kernel_impl(store, kernel, nullptr);
+}
+
+RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
+                                 const exec::RangeKernel& kernel,
+                                 ThreadPool& pool) const {
+  return run_kernel_impl(store, kernel, &pool);
+}
+
 RuntimeStats StreamExecutor::run_impl(exec::ArrayStore& store,
                                       ThreadPool* pool) const {
   std::optional<exec::CompiledKernel> kernel;
@@ -275,7 +316,7 @@ RuntimeStats StreamExecutor::run_impl(exec::ArrayStore& store,
   }
   if (kernel) {
     const exec::CompiledKernel& k = *kernel;
-    return drive(
+    return drive_scan(
         [&k](int) -> std::function<void(const Vec&)> {
           auto scratch = std::make_shared<exec::CompiledKernel::Scratch>(
               k.make_scratch());
@@ -285,7 +326,7 @@ RuntimeStats StreamExecutor::run_impl(exec::ArrayStore& store,
         },
         pool);
   }
-  return drive(
+  return drive_scan(
       [this, &store](int) -> std::function<void(const Vec&)> {
         return [this, &store](const Vec& it) {
           exec::execute_iteration(original_, it, store);
@@ -305,7 +346,7 @@ RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
 
 RuntimeStats StreamExecutor::run_trace(
     const std::function<void(int, const Vec&)>& sink) const {
-  return drive(
+  return drive_scan(
       [&sink](int id) -> std::function<void(const Vec&)> {
         return [&sink, id](const Vec& it) { sink(id, it); };
       },

@@ -24,7 +24,7 @@
 #include <functional>
 
 #include "codegen/rewrite.h"
-#include "exec/array_store.h"
+#include "exec/kernel.h"
 #include "runtime/stats.h"
 #include "runtime/task.h"
 #include "support/thread_pool.h"
@@ -61,6 +61,16 @@ class StreamExecutor {
   /// num_threads() worker contexts are distributed over the pool.
   RuntimeStats run(exec::ArrayStore& store, ThreadPool& pool) const;
 
+  /// Native-kernel mode: descriptor leaves are handed whole to
+  /// `kernel.execute_range` (typically a dlopen-ed jit::NativeKernel built
+  /// from this executor's plan) instead of being scanned per iteration.
+  /// Work stealing, splitting and stats are identical to run(); only leaf
+  /// execution changes.
+  RuntimeStats run(exec::ArrayStore& store,
+                   const exec::RangeKernel& kernel) const;
+  RuntimeStats run(exec::ArrayStore& store, const exec::RangeKernel& kernel,
+                   ThreadPool& pool) const;
+
   /// Test/diagnostic mode: streams every *original* iteration in execution
   /// order to `sink(worker, iter)` instead of mutating a store. The sink
   /// must be safe to call concurrently for distinct workers.
@@ -77,8 +87,17 @@ class StreamExecutor {
 
  private:
   struct Worker;
+  /// Runs one leaf descriptor; created per worker context by a factory so
+  /// scan state (or kernel bindings) stay thread-private.
+  using LeafFn = std::function<void(const TaskDescriptor&)>;
   RuntimeStats run_impl(exec::ArrayStore& store, ThreadPool* pool) const;
+  RuntimeStats run_kernel_impl(exec::ArrayStore& store,
+                               const exec::RangeKernel& kernel,
+                               ThreadPool* pool) const;
   RuntimeStats drive(
+      const std::function<LeafFn(int, WorkerStats&)>& leaf_factory,
+      ThreadPool* pool) const;
+  RuntimeStats drive_scan(
       const std::function<std::function<void(const Vec&)>(int)>& body_factory,
       ThreadPool* pool) const;
   void execute_leaf(const TaskDescriptor& task, Worker& w) const;
