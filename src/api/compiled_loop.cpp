@@ -20,26 +20,13 @@ i64 elapsed_ns(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-// Memo key part carrying everything bounds-level the fingerprint ignores:
-// nest.to_string() renders loops and body but not array declarations, and
-// the structural fingerprint deliberately drops dims too (the analysis is
-// dim-independent, so nests differing only in array dims share one
-// artifact) — but emitted C and native kernels bake dims into flattening
-// strides and static sizes, so their memos must separate on them.
+// Memo key part carrying everything bounds-level the fingerprint ignores
+// (the structural fingerprint deliberately drops loop bounds and dims: the
+// analysis is bounds-independent — but emitted C and native kernels bake
+// both into flattening strides and static sizes, so their memos must
+// separate on them). Shared with the batch grouping (api/fingerprint.h).
 std::string bounds_key(const loopir::LoopNest& nest) {
-  std::string key = nest.to_string();
-  for (const loopir::ArrayDecl& a : nest.arrays()) {
-    key += a.name;
-    key += '[';
-    for (auto [lo, hi] : a.dims) {
-      key += std::to_string(lo);
-      key += ':';
-      key += std::to_string(hi);
-      key += ',';
-    }
-    key += ']';
-  }
-  return key;
+  return bounds_render(nest);
 }
 
 }  // namespace
@@ -216,7 +203,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       rep.tasks = rs.work_items;
     }
     rep.wall_ns = elapsed_ns(t0);
-    rep.checksum = store.checksum();
+    if (policy.digest()) rep.checksum = store.checksum();
     return rep;
   });
 }

@@ -19,7 +19,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "api/fingerprint.h"
 #include "codegen/emit_c.h"
@@ -87,6 +89,9 @@ class ExecPolicy {
   ExecPolicy& threads(std::size_t t) { threads_ = t; return *this; }
   ExecPolicy& grain(i64 g) { grain_ = g; return *this; }
   ExecPolicy& backend(ExecBackend b) { backend_ = b; return *this; }
+  /// Whether ExecReport.checksum is computed (a full store scan per
+  /// request — diagnostics; serving paths turn it off).
+  ExecPolicy& digest(bool v) { digest_ = v; return *this; }
   /// Deprecated spelling of backend(kInterpreter).
   ExecPolicy& interpreter_only(bool v = true) {
     backend_ = v ? ExecBackend::kInterpreter : ExecBackend::kCompiled;
@@ -101,6 +106,7 @@ class ExecPolicy {
   ExecBackend backend() const { return backend_; }
   bool interpreter_only() const { return backend_ == ExecBackend::kInterpreter; }
   const jit::JitOptions& jit_options() const { return jit_; }
+  bool digest() const { return digest_; }
 
  private:
   ExecMode mode_ = ExecMode::kStreaming;
@@ -108,6 +114,7 @@ class ExecPolicy {
   i64 grain_ = 0;
   ExecBackend backend_ = ExecBackend::kCompiled;
   jit::JitOptions jit_;
+  bool digest_ = true;
 };
 
 // -------------------------------------------------------------- artifacts
@@ -235,6 +242,32 @@ class CompiledLoop {
   Expected<ExecReport> execute(const ExecPolicy& policy,
                                exec::ArrayStore& store,
                                vdep::ThreadPool& pool) const;
+
+  /// Batch execution, same structure at many bounds: rebinds the shared
+  /// artifact at every entry of `bounds` (CompiledLoop::at semantics —
+  /// errors kPrecondition with the entry's index when a nest has a
+  /// different structure), allocates a pattern-filled store per request
+  /// and runs all of them over ONE shared worker set: every request's
+  /// descriptors interleave in the same work-stealing deques
+  /// (runtime/batch_executor.h), so the batch — not any single request —
+  /// feeds the workers, and the fork/join cost is paid once. Streaming
+  /// only. Reports are per request (iterations, steals, completion time,
+  /// checksum of the request's final store).
+  Expected<std::vector<ExecReport>> execute_batch(
+      std::span<const loopir::LoopNest> bounds,
+      const ExecPolicy& policy = {}) const;
+  Expected<std::vector<ExecReport>> execute_batch(
+      std::span<const loopir::LoopNest> bounds, const ExecPolicy& policy,
+      vdep::ThreadPool& pool) const;
+
+  /// Batch execution, one bounds at many data sets (the serving hot case):
+  /// every store must have been built for nest(). Caller keeps ownership.
+  Expected<std::vector<ExecReport>> execute_batch(
+      std::span<exec::ArrayStore* const> stores,
+      const ExecPolicy& policy = {}) const;
+  Expected<std::vector<ExecReport>> execute_batch(
+      std::span<exec::ArrayStore* const> stores, const ExecPolicy& policy,
+      vdep::ThreadPool& pool) const;
 
   /// Executes the plan and the sequential reference from the same
   /// deterministic initial store; errors (kInternal) on any bitwise

@@ -1,5 +1,8 @@
 #include "api/compiler.h"
 
+#include <map>
+#include <thread>
+
 #include "dsl/parser.h"
 #include "support/error.h"
 #include "trans/legality.h"
@@ -11,6 +14,33 @@ Compiler::Compiler(CompileOptions opts)
       cache_(std::make_unique<PlanCache>(opts.cache_capacity(),
                                          opts.cache_shards())) {}
 
+std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
+    const loopir::LoopNest& nest, Fingerprint fp) const {
+  // Cold path: the full pipeline. Everything below depends on the
+  // structure only, so the artifact is valid for this fingerprint at any
+  // bounds.
+  LoopAnalysis analysis;
+  analysis.pdm = dep::compute_pdm(nest);
+  analysis.rank = analysis.pdm.rank();
+  analysis.all_uniform = analysis.pdm.all_uniform();
+
+  LoopPlan plan;
+  plan.transform = trans::plan_transform(analysis.pdm);
+  plan.doall_loops = plan.transform.num_doall;
+  plan.partition_classes = plan.transform.partition_classes;
+  // The certificate is re-derived from Theorem 1, not trusted from plan
+  // construction: a cached plan is either certified or never exists.
+  plan.legal =
+      trans::is_legal_transform(analysis.pdm.matrix(), plan.transform.t);
+  if (!plan.legal)
+    throw InternalError(
+        "plan_transform produced a transformation that fails the "
+        "Theorem 1 legality check");
+
+  return cache_->insert(std::make_shared<PlanArtifact>(
+      std::move(fp), std::move(analysis), std::move(plan)));
+}
+
 Expected<CompiledLoop> Compiler::compile(const loopir::LoopNest& nest) const {
   return try_invoke([&]() -> CompiledLoop {
     if (opts_.validate()) nest.validate();
@@ -18,33 +48,58 @@ Expected<CompiledLoop> Compiler::compile(const loopir::LoopNest& nest) const {
     Fingerprint fp = structural_fingerprint(nest);
     if (std::shared_ptr<const PlanArtifact> art = cache_->find(fp))
       return CompiledLoop(std::move(art), nest);
-
-    // Cold path: the full pipeline. Everything below depends on the
-    // structure only, so the artifact is valid for this fingerprint at any
-    // bounds.
-    LoopAnalysis analysis;
-    analysis.pdm = dep::compute_pdm(nest);
-    analysis.rank = analysis.pdm.rank();
-    analysis.all_uniform = analysis.pdm.all_uniform();
-
-    LoopPlan plan;
-    plan.transform = trans::plan_transform(analysis.pdm);
-    plan.doall_loops = plan.transform.num_doall;
-    plan.partition_classes = plan.transform.partition_classes;
-    // The certificate is re-derived from Theorem 1, not trusted from plan
-    // construction: a cached plan is either certified or never exists.
-    plan.legal =
-        trans::is_legal_transform(analysis.pdm.matrix(), plan.transform.t);
-    if (!plan.legal)
-      throw InternalError(
-          "plan_transform produced a transformation that fails the "
-          "Theorem 1 legality check");
-
-    std::shared_ptr<const PlanArtifact> art =
-        cache_->insert(std::make_shared<PlanArtifact>(
-            std::move(fp), std::move(analysis), std::move(plan)));
-    return CompiledLoop(std::move(art), nest);
+    return CompiledLoop(analyze_and_insert(nest, std::move(fp)), nest);
   });
+}
+
+Expected<std::vector<CompiledLoop>> Compiler::compile_all(
+    std::span<const loopir::LoopNest> nests) const {
+  // Batch-local dedup by canonical fingerprint key: one cache probe and at
+  // most one analysis per unique structure, no matter how many requests
+  // share it. The map holds the batch's working set only; the session
+  // cache stays the durable store.
+  std::map<std::string, std::shared_ptr<const PlanArtifact>> local;
+  std::vector<CompiledLoop> out;
+  out.reserve(nests.size());
+  ApiError first_err;
+  bool failed = false;
+
+  for (std::size_t k = 0; k < nests.size(); ++k) {
+    const loopir::LoopNest& nest = nests[k];
+    Expected<CompiledLoop> one = try_invoke([&]() -> CompiledLoop {
+      if (opts_.validate()) nest.validate();
+      Fingerprint fp = structural_fingerprint(nest);
+      auto it = local.find(fp.key);
+      if (it != local.end()) return CompiledLoop(it->second, nest);
+      std::shared_ptr<const PlanArtifact> art = cache_->find(fp);
+      if (!art) art = analyze_and_insert(nest, fp);
+      local.emplace(std::move(fp.key), art);
+      return CompiledLoop(std::move(art), nest);
+    });
+    if (one) {
+      out.push_back(std::move(*one));
+    } else if (!failed) {
+      // Keep compiling the rest: they land in the cache, so a retry
+      // without the bad entry is all hits.
+      failed = true;
+      first_err = one.error();
+      first_err.index = static_cast<int>(k);
+      first_err.message =
+          "compile_all: nest " + std::to_string(k) + ": " + first_err.message;
+    }
+  }
+  if (failed) return first_err;
+  return out;
+}
+
+ThreadPool& Compiler::pool() const {
+  std::call_once(pool_once_, [&] {
+    std::size_t n = opts_.pool_threads()
+                        ? opts_.pool_threads()
+                        : std::max(1u, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(n);
+  });
+  return *pool_;
 }
 
 Expected<CompiledLoop> Compiler::compile(const std::string& dsl_source) const {

@@ -17,7 +17,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "api/compiled_loop.h"
 #include "api/plan_cache.h"
@@ -30,15 +33,18 @@ class CompileOptions {
   CompileOptions& cache_capacity(std::size_t n) { cache_capacity_ = n; return *this; }
   CompileOptions& cache_shards(std::size_t n) { cache_shards_ = n; return *this; }
   CompileOptions& validate(bool v) { validate_ = v; return *this; }
+  CompileOptions& pool_threads(std::size_t n) { pool_threads_ = n; return *this; }
 
   std::size_t cache_capacity() const { return cache_capacity_; }
   std::size_t cache_shards() const { return cache_shards_; }
   bool validate() const { return validate_; }
+  std::size_t pool_threads() const { return pool_threads_; }  ///< 0 = hardware
 
  private:
   std::size_t cache_capacity_ = 256;
   std::size_t cache_shards_ = 8;
   bool validate_ = true;  ///< run LoopNest::validate() before analysis
+  std::size_t pool_threads_ = 0;  ///< session pool size; 0 = hardware
 };
 
 class Compiler {
@@ -54,13 +60,33 @@ class Compiler {
   /// ErrorKind::kParse with 1-based line/column set.
   Expected<CompiledLoop> compile(const std::string& dsl_source) const;
 
+  /// Batch compile: fingerprints every nest first and runs the analysis
+  /// pipeline once per *unique structure* — N requests sharing a structure
+  /// cost one Algorithm 1 and one cache probe, not N. On failure the error
+  /// carries the 0-based index of the first failing nest (ApiError::index);
+  /// every other nest is still compiled and cached, so retrying without
+  /// the bad entry is all hits.
+  Expected<std::vector<CompiledLoop>> compile_all(
+      std::span<const loopir::LoopNest> nests) const;
+
+  /// The session's lazily created ThreadPool (CompileOptions::pool_threads
+  /// workers), shared by every execute_batch/execute call that passes it:
+  /// one long-lived worker set serving all requests of the session instead
+  /// of a fork/join per call. Thread-safe.
+  ThreadPool& pool() const;
+
   CacheStats cache_stats() const { return cache_->stats(); }
   void clear_cache() { cache_->clear(); }
   const CompileOptions& options() const { return opts_; }
 
  private:
+  std::shared_ptr<const PlanArtifact> analyze_and_insert(
+      const loopir::LoopNest& nest, Fingerprint fp) const;
+
   CompileOptions opts_;
   std::unique_ptr<PlanCache> cache_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace vdep

@@ -75,4 +75,91 @@ Fingerprint structural_fingerprint(const loopir::LoopNest& nest) {
   return fp;
 }
 
+namespace {
+
+void render_expr(const loopir::Expr& e, std::string* key) {
+  using K = loopir::Expr::Kind;
+  switch (e.kind()) {
+    case K::kConst:
+      *key += 'c';
+      append_int(key, e.value());
+      return;
+    case K::kIndex:
+      *key += 'i';
+      append_int(key, e.index());
+      return;
+    case K::kRead:
+      *key += 'r';
+      *key += e.ref().array;
+      for (const loopir::AffineExpr& s : e.ref().subscripts) {
+        for (intlin::i64 c : s.coeffs()) append_int(key, c);
+        *key += ':';
+        append_int(key, s.constant_term());
+      }
+      return;
+    case K::kAdd:
+    case K::kSub:
+    case K::kMul:
+      *key += e.kind() == K::kAdd ? '+' : e.kind() == K::kSub ? '-' : '*';
+      render_expr(*e.lhs(), key);
+      render_expr(*e.rhs(), key);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string bounds_render(const loopir::LoopNest& nest) {
+  // Compact numeric rendering, not nest.to_string(): the render runs per
+  // request on the batch grouping path, and the source-like rendering
+  // (ostringstream-based) costs more than executing a small request.
+  //
+  // The body IS part of this key. The structural fingerprint canonicalizes
+  // only the access sequence (statements, arrays, subscripts) — body
+  // constants and operators never enter the analysis, so `A[i]=A[i-1]+1`
+  // and `A[i]=A[i-1]+2` deliberately share one PlanArtifact. Emitted C,
+  // native kernels and batch kernel-sharing groups bake the body in, so
+  // their keys must separate on it.
+  std::string key;
+  key.reserve(128);
+  auto put = [&key](intlin::i64 v) {
+    append_int(&key, v);
+  };
+  auto put_bound = [&](const loopir::Bound& b) {
+    for (const loopir::BoundTerm& t : b.terms()) {
+      for (intlin::i64 c : t.num.coeffs()) put(c);
+      key += ':';
+      put(t.num.constant_term());
+      put(t.den);
+      key += 't';
+    }
+    key += ';';
+  };
+  for (const loopir::Level& l : nest.levels()) {
+    key += 'L';
+    put_bound(l.lower);
+    put_bound(l.upper);
+  }
+  for (const loopir::ArrayDecl& a : nest.arrays()) {
+    key += 'A';
+    key += a.name;
+    for (auto [lo, hi] : a.dims) {
+      put(lo);
+      put(hi);
+    }
+  }
+  for (const loopir::Assign& st : nest.body()) {
+    key += 'S';
+    key += st.lhs.array;
+    for (const loopir::AffineExpr& s : st.lhs.subscripts) {
+      for (intlin::i64 c : s.coeffs()) put(c);
+      key += ':';
+      put(s.constant_term());
+    }
+    key += '=';
+    render_expr(*st.rhs, &key);
+  }
+  return key;
+}
+
 }  // namespace vdep

@@ -37,4 +37,12 @@ struct Fingerprint {
 /// Fingerprints the structure of `nest` (bounds and array shapes excluded).
 Fingerprint structural_fingerprint(const loopir::LoopNest& nest);
 
+/// Canonical rendering of everything structural_fingerprint deliberately
+/// ignores: the loop bounds (nest.to_string() renders loops and body) plus
+/// the array shapes. fingerprint + bounds_render identifies a nest up to
+/// execution equivalence of emitted and native code — it keys the
+/// codegen/jit memos of PlanArtifact and the same-(structure, bounds)
+/// grouping of execute_batch.
+std::string bounds_render(const loopir::LoopNest& nest);
+
 }  // namespace vdep

@@ -7,8 +7,10 @@
 //
 // Pulls in Compiler / CompileOptions (api/compiler.h), CompiledLoop with
 // its stage artifacts and ExecPolicy / CodegenOptions (api/compiled_loop.h),
-// the structural Fingerprint (api/fingerprint.h), the PlanCache
-// (api/plan_cache.h) and Expected / ApiError (support/expected.h).
+// the batch serving entry points (api/batch.h), the structural Fingerprint
+// (api/fingerprint.h), the PlanCache (api/plan_cache.h) and Expected /
+// ApiError (support/expected.h).
 #pragma once
 
+#include "api/batch.h"
 #include "api/compiler.h"

@@ -47,10 +47,24 @@ void ArrayStore::write(const std::string& array, const Vec& coords, i64 value) {
 }
 
 i64 ArrayStore::checksum() const {
-  i64 sum = 0;
-  for (const auto& [name, s] : data_)
-    for (i64 v : s.data) sum = (sum * 31 + v) % 1000000007;
-  return sum;
+  // Position-keyed SplitMix64 accumulation. The old polynomial digest
+  // ((sum * 31 + v) % p) serialized a hardware divide per element, which
+  // cost more than actually executing a small request — serving benches
+  // were measuring the digest. Summing independent mixes keeps the loop
+  // divide-free and lets iterations overlap, while a value moving between
+  // positions still changes the digest.
+  std::uint64_t sum = 0;
+  std::uint64_t pos = 0;
+  for (const auto& [name, s] : data_) {
+    for (i64 v : s.data) {
+      std::uint64_t z = static_cast<std::uint64_t>(v) +
+                        0x9e3779b97f4a7c15ULL * ++pos;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      sum += z ^ (z >> 31);
+    }
+  }
+  return static_cast<i64>(sum);
 }
 
 const std::vector<i64>& ArrayStore::raw(const std::string& array) const {

@@ -32,6 +32,9 @@ CompiledKernel::Access CompiledKernel::compile_access(
   const loopir::ArrayDecl& decl = nest_.array(ref.array);
   Access acc;
   acc.base = store_->raw_mutable(ref.array).data();
+  for (std::size_t a = 0; a < nest_.arrays().size(); ++a)
+    if (nest_.arrays()[a].name == ref.array)
+      acc.array_ord = static_cast<int>(a);
   acc.coeffs.assign(static_cast<std::size_t>(nest_.depth()), 0);
   acc.c0 = 0;
   i64 stride = 1;
@@ -140,6 +143,25 @@ void CompiledKernel::execute_iteration(const Vec& iter, Scratch& scratch) const 
 
 void CompiledKernel::run_sequential() {
   nest_.for_each_iteration([&](const Vec& iter) { execute_iteration(iter); });
+}
+
+CompiledKernel CompiledKernel::rebind(ArrayStore& other) const {
+  CompiledKernel copy(*this);
+  auto rebase = [&](Access& a) {
+    const loopir::ArrayDecl& decl =
+        nest_.arrays()[static_cast<std::size_t>(a.array_ord)];
+    std::vector<i64>& buf = other.raw_mutable(decl.name);
+    // The range proof ran against the construction store's sizes; it
+    // transfers only to identically sized buffers.
+    VDEP_REQUIRE(buf.size() == store_->raw(decl.name).size(),
+                 "CompiledKernel::rebind: store shape differs for array " +
+                     decl.name);
+    a.base = buf.data();
+  };
+  for (Stmt& s : copy.stmts_) rebase(s.lhs);
+  for (Access& a : copy.reads_) rebase(a);
+  copy.store_ = &other;
+  return copy;
 }
 
 void execute_schedule_compiled(const loopir::LoopNest& nest,

@@ -42,6 +42,14 @@ class CompiledKernel {
   /// Sequential lexicographic execution of the whole nest.
   void run_sequential();
 
+  /// A copy of this kernel with every access re-based onto `other`'s
+  /// buffers — the batch serving path: N same-(structure, bounds) requests
+  /// compile one kernel and rebind it per request's store, skipping the
+  /// per-construction range proof. `other` must own the same arrays at the
+  /// same sizes as the construction store (shapes are re-checked, throwing
+  /// PreconditionError on mismatch); it must outlive the copy.
+  CompiledKernel rebind(ArrayStore& other) const;
+
   int statement_count() const { return static_cast<int>(stmts_.size()); }
 
  private:
@@ -49,6 +57,7 @@ class CompiledKernel {
     i64* base = nullptr;   // array buffer
     Vec coeffs;            // flat offset = dot(coeffs, iter) + c0
     i64 c0 = 0;
+    int array_ord = 0;     // index into nest_.arrays(), for rebind()
   };
   enum class Op : unsigned char { kPushConst, kPushIndex, kRead, kAdd, kSub, kMul };
   struct Instr {

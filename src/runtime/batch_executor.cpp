@@ -1,0 +1,202 @@
+#include "runtime/batch_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/work_queue.h"
+#include "support/error.h"
+
+namespace vdep::runtime {
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-source live-descriptor counter, padded so adjacent sources'
+/// hot counters never share a cache line.
+struct alignas(64) Pending {
+  std::atomic<i64> count{0};
+};
+
+}  // namespace
+
+i64 BatchStats::total_steals() const {
+  i64 n = 0;
+  for (const SourceStats& s : sources) n += s.steals;
+  return n;
+}
+
+i64 BatchStats::total_iterations() const {
+  i64 n = 0;
+  for (const SourceStats& s : sources) n += s.iterations;
+  return n;
+}
+
+BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
+                     ThreadPool* pool) {
+  const std::size_t ns = sources.size();
+  BatchStats out;
+  out.sources.resize(ns);
+  if (ns == 0) return out;
+  if (threads == 0)
+    threads = pool ? pool->size()
+                   : std::max(1u, std::thread::hardware_concurrency());
+
+  // One leaf factory per source, built up front: the scan path compiles
+  // its CompiledKernel against the source's store here, once, shared by
+  // every worker context that later touches the source.
+  std::vector<StreamExecutor::LeafFactory> factories;
+  factories.reserve(ns);
+  for (const BatchSource& src : sources) {
+    VDEP_REQUIRE(src.executor != nullptr && src.store != nullptr,
+                 "run_batch: source executor/store must be set");
+    factories.push_back(src.executor->make_leaf_factory(
+        *src.store, src.kernel, src.scan_prototype));
+  }
+
+  // Per (worker, source) counters: single writer each, aggregated after
+  // the join, so no synchronization beyond the join itself.
+  std::vector<WorkerStats> ws(threads * ns);
+  auto stats_of = [&](int id, i64 s) -> WorkerStats& {
+    return ws[static_cast<std::size_t>(id) * ns + static_cast<std::size_t>(s)];
+  };
+
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques;
+  deques.reserve(threads);
+  for (std::size_t k = 0; k < threads; ++k)
+    deques.push_back(std::make_unique<WorkStealingDeque>());
+
+  // Live descriptors per source plus the count of unfinished sources; a
+  // worker may retire only descriptors it holds, so `pending` hitting zero
+  // is exactly "every descriptor of the source ran".
+  std::vector<Pending> pending(ns);
+  std::atomic<i64> live_sources{0};
+  std::vector<i64> done_ns(ns, 0);
+
+  // Seed every nonempty root round-robin before any worker starts (deque
+  // pushes are owner-only, but pre-start seeding is single-threaded and
+  // published by thread creation / the pool's queue mutex).
+  std::size_t seeded = 0;
+  for (std::size_t s = 0; s < ns; ++s) {
+    TaskDescriptor rt = sources[s].executor->root();
+    rt.source = static_cast<i64>(s);
+    if (rt.outer_extent() <= 0 || rt.class_extent() <= 0) continue;
+    pending[s].count.store(1, std::memory_order_relaxed);
+    live_sources.fetch_add(1, std::memory_order_relaxed);
+    deques[seeded++ % threads]->push(rt);
+  }
+  if (seeded == 0) return out;
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  i64 first_error_source = -1;
+  std::mutex error_mutex;
+
+  const i64 t0 = now_ns();
+  const int n = static_cast<int>(threads);
+  auto worker_main = [&](int id) {
+    // Leaf runners of this worker context, one per source, built on the
+    // first descriptor of that source this worker runs.
+    std::vector<StreamExecutor::LeafFn> leaves(ns);
+
+    auto process = [&](TaskDescriptor task) {
+      const i64 s = task.source;
+      const StreamExecutor& ex = *sources[static_cast<std::size_t>(s)].executor;
+      WorkerStats& stats = stats_of(id, s);
+      i64 t_start = now_ns();
+      try {
+        while (can_split(task, ex.grain(), ex.has_outer())) {
+          TaskDescriptor high = split(task, ex.grain(), ex.has_outer());
+          pending[static_cast<std::size_t>(s)].count.fetch_add(
+              1, std::memory_order_relaxed);
+          deques[static_cast<std::size_t>(id)]->push(high);
+          ++stats.splits;
+        }
+        StreamExecutor::LeafFn& leaf = leaves[static_cast<std::size_t>(s)];
+        if (!leaf) leaf = factories[static_cast<std::size_t>(s)](id, stats);
+        leaf(task);
+        ++stats.tasks;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_source = s;
+        }
+        abort.store(true, std::memory_order_release);
+      }
+      if (pending[static_cast<std::size_t>(s)].count.fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        // Unique last-retirer of the source: stamp its completion.
+        done_ns[static_cast<std::size_t>(s)] = now_ns() - t0;
+        live_sources.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      stats.busy_ns += now_ns() - t_start;
+    };
+
+    int idle_sweeps = 0;
+    for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
+      TaskDescriptor task;
+      if (deques[static_cast<std::size_t>(id)]->pop(task)) {
+        process(task);
+        idle_sweeps = 0;
+        continue;
+      }
+      if (live_sources.load(std::memory_order_acquire) == 0) return;
+      bool stolen = false;
+      for (int k = 1; k < n && !stolen; ++k) {
+        std::size_t victim = static_cast<std::size_t>((id + k) % n);
+        if (deques[victim]->steal(task)) {
+          ++stats_of(id, task.source).steals;
+          stolen = true;
+        }
+      }
+      if (stolen) {
+        process(task);
+        idle_sweeps = 0;
+      } else if (++idle_sweeps < 16) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(50 * (idle_sweeps - 15), 1000)));
+      }
+    }
+  };
+
+  if (pool) {
+    pool->parallel_for(static_cast<i64>(threads),
+                       [&](i64 id) { worker_main(static_cast<int>(id)); });
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (int k = 1; k < n; ++k) workers.emplace_back(worker_main, k);
+    worker_main(0);  // the calling thread is worker 0
+    for (std::thread& t : workers) t.join();
+  }
+  out.wall_ns = now_ns() - t0;
+
+  for (std::size_t s = 0; s < ns; ++s) {
+    SourceStats& agg = out.sources[s];
+    for (std::size_t id = 0; id < threads; ++id) {
+      const WorkerStats& w = ws[id * ns + s];
+      agg.iterations += w.iterations;
+      agg.tasks += w.tasks;
+      agg.splits += w.splits;
+      agg.steals += w.steals;
+    }
+    agg.done_ns = done_ns[s];
+  }
+  out.error = first_error;
+  out.error_source = first_error_source;
+  return out;
+}
+
+}  // namespace vdep::runtime

@@ -1,0 +1,80 @@
+// Multi-source streaming execution: many requests, one worker set.
+//
+// A serving workload compiles one structure and executes it at thousands of
+// bounds. Running those requests loop-at-a-time through StreamExecutor::run
+// pays a full fork/join per request — worker wakeup, deque setup, the join
+// barrier — and a small request cannot feed every worker on its own (a
+// 2-class plan with a short outer range splits into a handful of leaves).
+// run_batch instead seeds the root descriptor of *every* request into one
+// shared set of Chase-Lev deques, tagged with its source index
+// (TaskDescriptor::source): descriptors from different requests interleave
+// in the deques and migrate between workers by the normal stealing rules,
+// so the batch's total parallelism — not any single request's — is what
+// keeps the workers busy, and the fork/join cost is paid once per batch.
+//
+// Legality is per source: two descriptors of one source are disjoint
+// rectangles of that source's iteration space (Lemma 1 x Theorem 2), and
+// descriptors of different sources touch different stores entirely, so any
+// interleaving is safe.
+//
+// Completion is tracked per source (a request is done when its last
+// descriptor retires), which is what the API layer turns into per-request
+// ExecReports.
+#pragma once
+
+#include <exception>
+#include <span>
+
+#include "runtime/stream_executor.h"
+
+namespace vdep::runtime {
+
+/// One request of a batch run: a prepared executor (plan + bounds) bound to
+/// the request's store, optionally with a native kernel for its leaves.
+/// Sources of a same-(structure, bounds) group may share one executor and
+/// one scan prototype (the API layer dedups them). All pointers must
+/// outlive the run_batch call.
+struct BatchSource {
+  const StreamExecutor* executor = nullptr;
+  exec::ArrayStore* store = nullptr;
+  /// Non-null: leaves run through this kernel (jit::NativeKernel); null:
+  /// the executor's scan path (CompiledKernel / interpreter).
+  const exec::RangeKernel* kernel = nullptr;
+  /// Non-null: the scan path rebinds this prebuilt kernel onto `store`
+  /// instead of compiling one (StreamExecutor::make_leaf_factory).
+  const exec::CompiledKernel* scan_prototype = nullptr;
+};
+
+/// Per-request completion counters of a batch run.
+struct SourceStats {
+  i64 iterations = 0;
+  i64 tasks = 0;   ///< leaf descriptors executed
+  i64 splits = 0;
+  i64 steals = 0;  ///< stolen descriptors of this source
+  i64 done_ns = 0; ///< batch start -> this source's last descriptor retired
+};
+
+/// Aggregate outcome of a batch run.
+struct BatchStats {
+  std::vector<SourceStats> sources;
+  i64 wall_ns = 0;  ///< makespan of the whole batch
+  /// First failure (a leaf threw): every worker stops, remaining
+  /// descriptors are dropped, and the error plus its source index surface
+  /// here instead of by rethrow so the caller can attach the request index.
+  std::exception_ptr error;
+  i64 error_source = -1;
+
+  i64 total_steals() const;
+  i64 total_iterations() const;
+};
+
+/// Runs every source's full descriptor rectangle over one shared worker
+/// set of `threads` contexts (0 = hardware concurrency). Root descriptors
+/// are seeded round-robin across the deques before any worker starts; each
+/// source splits by its own executor's grain. With `pool` the workers are
+/// the pool's threads plus the caller, otherwise threads are spawned for
+/// this batch.
+BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
+                     ThreadPool* pool);
+
+}  // namespace vdep::runtime

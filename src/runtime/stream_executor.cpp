@@ -157,9 +157,8 @@ void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
   }
 }
 
-RuntimeStats StreamExecutor::drive(
-    const std::function<LeafFn(int, WorkerStats&)>& leaf_factory,
-    ThreadPool* pool) const {
+RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
+                                   ThreadPool* pool) const {
   RuntimeStats out;
   out.workers.resize(threads_);
   TaskDescriptor rt = root();
@@ -258,39 +257,77 @@ RuntimeStats StreamExecutor::drive(
   return out;
 }
 
+StreamExecutor::LeafFn StreamExecutor::make_scan_leaf(
+    int id, WorkerStats& stats, std::function<void(const Vec&)> body) const {
+  // The Worker outlives the factory call (it is captured by the leaf
+  // closure), so it lives on the heap, one per worker context.
+  auto w = std::make_shared<Worker>();
+  w->id = id;
+  w->stats = &stats;
+  w->j.assign(static_cast<std::size_t>(depth_), 0);
+  w->orig.assign(static_cast<std::size_t>(depth_), 0);
+  w->body = std::move(body);
+  Worker* wp = w.get();
+  w->emit_j = [this, wp](const Vec&) { emit(*wp); };
+  return [this, w](const TaskDescriptor& task) { execute_leaf(task, *w); };
+}
+
 RuntimeStats StreamExecutor::drive_scan(
     const std::function<std::function<void(const Vec&)>(int)>& body_factory,
     ThreadPool* pool) const {
   return drive(
       [&](int id, WorkerStats& stats) -> LeafFn {
-        // The Worker outlives the factory call (it is captured by the leaf
-        // closure), so it lives on the heap, one per worker context.
-        auto w = std::make_shared<Worker>();
-        w->id = id;
-        w->stats = &stats;
-        w->j.assign(static_cast<std::size_t>(depth_), 0);
-        w->orig.assign(static_cast<std::size_t>(depth_), 0);
-        w->body = body_factory(id);
-        Worker* wp = w.get();
-        w->emit_j = [this, wp](const Vec&) { emit(*wp); };
-        return [this, w](const TaskDescriptor& task) {
-          execute_leaf(task, *w);
-        };
+        return make_scan_leaf(id, stats, body_factory(id));
       },
       pool);
+}
+
+StreamExecutor::LeafFactory StreamExecutor::make_leaf_factory(
+    exec::ArrayStore& store, const exec::RangeKernel* kernel,
+    const exec::CompiledKernel* scan_prototype) const {
+  if (kernel) {
+    return [kernel, &store](int, WorkerStats& stats) -> LeafFn {
+      return [kernel, &store, &stats](const TaskDescriptor& t) {
+        stats.iterations += kernel->execute_range(
+            store, t.outer_lo, t.outer_hi, t.class_lo, t.class_hi);
+      };
+    };
+  }
+  // Scan path: one shared CompiledKernel against `store` (per-worker
+  // Scratch keeps it const), interpreter when the range proof rejects.
+  // A prototype skips construction entirely: same program, re-based
+  // buffers.
+  std::shared_ptr<const exec::CompiledKernel> ck;
+  if (!opts_.force_interpreter) {
+    try {
+      ck = scan_prototype
+               ? std::make_shared<exec::CompiledKernel>(
+                     scan_prototype->rebind(store))
+               : std::make_shared<exec::CompiledKernel>(original_, store);
+    } catch (const Error&) {
+      // Range proof or box extraction failed: interpret instead.
+    }
+  }
+  if (ck) {
+    return [this, ck](int id, WorkerStats& stats) -> LeafFn {
+      auto scratch = std::make_shared<exec::CompiledKernel::Scratch>(
+          ck->make_scratch());
+      return make_scan_leaf(id, stats, [ck, scratch](const Vec& it) {
+        ck->execute_iteration(it, *scratch);
+      });
+    };
+  }
+  return [this, &store](int id, WorkerStats& stats) -> LeafFn {
+    return make_scan_leaf(id, stats, [this, &store](const Vec& it) {
+      exec::execute_iteration(original_, it, store);
+    });
+  };
 }
 
 RuntimeStats StreamExecutor::run_kernel_impl(exec::ArrayStore& store,
                                              const exec::RangeKernel& kernel,
                                              ThreadPool* pool) const {
-  return drive(
-      [&kernel, &store](int, WorkerStats& stats) -> LeafFn {
-        return [&kernel, &store, &stats](const TaskDescriptor& t) {
-          stats.iterations += kernel.execute_range(
-              store, t.outer_lo, t.outer_hi, t.class_lo, t.class_hi);
-        };
-      },
-      pool);
+  return drive(make_leaf_factory(store, &kernel), pool);
 }
 
 RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
@@ -306,33 +343,7 @@ RuntimeStats StreamExecutor::run(exec::ArrayStore& store,
 
 RuntimeStats StreamExecutor::run_impl(exec::ArrayStore& store,
                                       ThreadPool* pool) const {
-  std::optional<exec::CompiledKernel> kernel;
-  if (!opts_.force_interpreter) {
-    try {
-      kernel.emplace(original_, store);
-    } catch (const Error&) {
-      // Range proof or box extraction failed: interpret instead.
-    }
-  }
-  if (kernel) {
-    const exec::CompiledKernel& k = *kernel;
-    return drive_scan(
-        [&k](int) -> std::function<void(const Vec&)> {
-          auto scratch = std::make_shared<exec::CompiledKernel::Scratch>(
-              k.make_scratch());
-          return [&k, scratch](const Vec& it) {
-            k.execute_iteration(it, *scratch);
-          };
-        },
-        pool);
-  }
-  return drive_scan(
-      [this, &store](int) -> std::function<void(const Vec&)> {
-        return [this, &store](const Vec& it) {
-          exec::execute_iteration(original_, it, store);
-        };
-      },
-      pool);
+  return drive(make_leaf_factory(store), pool);
 }
 
 RuntimeStats StreamExecutor::run(exec::ArrayStore& store) const {

@@ -29,6 +29,10 @@
 #include "runtime/task.h"
 #include "support/thread_pool.h"
 
+namespace vdep::exec {
+class CompiledKernel;
+}
+
 namespace vdep::runtime {
 
 using intlin::Vec;
@@ -47,6 +51,13 @@ struct StreamOptions {
 
 class StreamExecutor {
  public:
+  /// Runs one leaf descriptor. Created per worker context by a factory so
+  /// scan state (or kernel bindings) stay thread-private.
+  using LeafFn = std::function<void(const TaskDescriptor&)>;
+  /// Builds the LeafFn of one worker context; `stats` is that context's
+  /// private counter block (iterations are counted by the leaf itself).
+  using LeafFactory = std::function<LeafFn(int, WorkerStats&)>;
+
   /// `plan` must come from trans::plan_transform on `original`'s PDM (or
   /// be otherwise legal for it); legality is not re-checked here.
   StreamExecutor(const loopir::LoopNest& original,
@@ -77,6 +88,23 @@ class StreamExecutor {
   RuntimeStats run_trace(
       const std::function<void(int, const Vec&)>& sink) const;
 
+  /// Batch support (runtime/batch_executor.h): the per-worker leaf runner
+  /// run()/run(kernel) use, detached from the driving loop so a multi-
+  /// source scheduler can execute this plan's descriptors next to other
+  /// plans'. With `kernel` null this is the scan path — a CompiledKernel
+  /// is built against `store` once (shared by every worker context this
+  /// factory produces), falling back to the exact interpreter when the
+  /// range proof rejects the nest; non-null, leaves are handed whole to
+  /// `kernel`. `scan_prototype`, when set, skips the scan kernel's
+  /// construction (and its range proof): the prototype — compiled once per
+  /// (structure, bounds) group by the batch layer — is rebound onto
+  /// `store` instead. `store`, `kernel` and `scan_prototype` must outlive
+  /// the returned factory and every LeafFn it produced; so must this
+  /// executor.
+  LeafFactory make_leaf_factory(
+      exec::ArrayStore& store, const exec::RangeKernel* kernel = nullptr,
+      const exec::CompiledKernel* scan_prototype = nullptr) const;
+
   /// The root descriptor covering the full iteration space.
   TaskDescriptor root() const;
   /// Whether the plan has an outer DOALL dimension to chunk along.
@@ -87,19 +115,17 @@ class StreamExecutor {
 
  private:
   struct Worker;
-  /// Runs one leaf descriptor; created per worker context by a factory so
-  /// scan state (or kernel bindings) stay thread-private.
-  using LeafFn = std::function<void(const TaskDescriptor&)>;
   RuntimeStats run_impl(exec::ArrayStore& store, ThreadPool* pool) const;
   RuntimeStats run_kernel_impl(exec::ArrayStore& store,
                                const exec::RangeKernel& kernel,
                                ThreadPool* pool) const;
-  RuntimeStats drive(
-      const std::function<LeafFn(int, WorkerStats&)>& leaf_factory,
-      ThreadPool* pool) const;
+  RuntimeStats drive(const LeafFactory& leaf_factory, ThreadPool* pool) const;
   RuntimeStats drive_scan(
       const std::function<std::function<void(const Vec&)>(int)>& body_factory,
       ThreadPool* pool) const;
+  /// One scan-path worker context: Worker + recursive descriptor scan.
+  LeafFn make_scan_leaf(int id, WorkerStats& stats,
+                        std::function<void(const Vec&)> body) const;
   void execute_leaf(const TaskDescriptor& task, Worker& w) const;
   void scan_prefix(int level, const TaskDescriptor& task,
                    const std::vector<Vec>& labels, Worker& w) const;

@@ -37,6 +37,10 @@ struct TaskDescriptor {
   /// Half-open range of partition class ids ([0, 1) when unpartitioned).
   i64 class_lo = 0;
   i64 class_hi = 1;
+  /// Which batch request the rectangle belongs to (batch_executor.h).
+  /// Single-source runs leave it 0; split() halves carry it unchanged, so
+  /// a stolen descriptor always knows its plan, store and kernel.
+  i64 source = 0;
 
   i64 outer_extent() const { return outer_hi - outer_lo + 1; }
   i64 class_extent() const { return class_hi - class_lo; }

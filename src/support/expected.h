@@ -43,6 +43,11 @@ struct ApiError {
   std::string message;
   int line = -1;    ///< 1-based source line (kParse only, else -1)
   int column = -1;  ///< 1-based source column (kParse only, else -1)
+  /// 0-based position of the failing entry when the error came from a
+  /// batch entry point (Compiler::compile_all, vdep::execute_batch); -1
+  /// otherwise. The other entries of a compile_all batch are still
+  /// compiled and cached before the error returns.
+  int index = -1;
 
   std::string to_string() const {
     std::string s = std::string("[") + vdep::to_string(kind) + "] " + message;

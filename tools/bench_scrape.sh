@@ -15,6 +15,7 @@ trap 'rm -f "$tmp"' EXIT
 "$build_dir"/bench_runtime_throughput | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_plan_cache | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_jit_speedup | tee /dev/stderr >> "$tmp"
+"$build_dir"/bench_batch_serving | tee /dev/stderr >> "$tmp"
 
 grep '^{' "$tmp" > "$out"
 echo "wrote $(wc -l < "$out") json lines to $out" >&2
