@@ -1,12 +1,21 @@
-// E10: materialized vs streaming execution throughput.
+// E10: materialized vs streaming execution throughput, plus the
+// skewed-extent scenario of the N-D descriptor splitter.
 //
 // The materialized path pays O(total_iterations x depth) memory and build
 // time before the first loop body runs; the streaming runtime starts
-// executing immediately and its schedule state is a handful of 32-byte
+// executing immediately and its schedule state is a handful of small
 // descriptors. At sizes where both fit, streaming must match or beat the
 // end-to-end materialized throughput; past ~hundreds of MB of schedule the
 // materialized path is not runnable at all and is reported as skipped with
 // its estimated footprint.
+//
+// The skewed-extent rows measure nests whose outer DOALL extent is 1-2 but
+// whose inner DOALL extent is huge: the legacy outer-only splitter
+// (reproduced with split_dims = 1) cannot feed more workers than the outer
+// extent, while N-D boxes split the inner axis. `--gate` (CI bench-smoke
+// leg) requires the N-D splitter at 8 workers to beat 1 worker AND the
+// single-axis splitter at 8 workers by >= 2x, with all stores bit-identical
+// to the sequential reference.
 //
 // Output is one JSON object per line (scrapeable into BENCH_*.json):
 //   {"bench":"runtime_throughput","name":...,"mode":"streaming","threads":2,
@@ -14,13 +23,17 @@
 //    "tasks":...,"steals":...,"sched_bytes":...}
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 
 #include "core/suite.h"
 #include "dep/pdm.h"
 #include "exec/compiled.h"
+#include "exec/interpreter.h"
 #include "exec/runner.h"
+#include "loopir/builder.h"
 #include "runtime/stream_executor.h"
 #include "trans/planner.h"
 
@@ -107,10 +120,149 @@ struct Case {
   i64 streaming_n;  ///< size the materialized path cannot hold
 };
 
+// ------------------------------------------------- skewed-extent scenario
+
+/// skewed_extent with the outer loop collapsed to a single value: the
+/// legacy outer-only splitter has exactly one unsplittable descriptor here.
+loopir::LoopNest inner_only(i64 n) {
+  loopir::LoopNestBuilder b;
+  b.loop("i1", 0, 0).loop("i2", 0, n);
+  b.array("A", {{0, 0}, {0, n}});
+  b.array("B", {{0, 0}, {0, n}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           loopir::Expr::add(
+               loopir::Expr::mul(b.read("B", {b.idx(0), b.idx(1)}),
+                                 loopir::Expr::constant(3)),
+               loopir::Expr::index(1)));
+  return b.build();
+}
+
+/// One timed streaming run; split_dims = 1 reproduces the pre-N-D
+/// outer-only splitter as a measured baseline.
+double run_streaming_split(const std::string& name, const loopir::LoopNest& nest,
+                           const trans::TransformPlan& plan,
+                           std::size_t threads, int split_dims, i64 n,
+                           exec::ArrayStore* final_store = nullptr) {
+  runtime::StreamOptions so;
+  so.num_threads = threads;
+  so.split_dims = split_dims;
+  runtime::StreamExecutor ex(nest, plan, so);
+  exec::ArrayStore store(nest);
+  store.fill_pattern();
+  auto t0 = std::chrono::steady_clock::now();
+  runtime::RuntimeStats rs = ex.run(store);
+  double secs = seconds_since(t0);
+  std::printf(
+      "{\"bench\":\"runtime_throughput\",\"name\":\"%s\",\"mode\":\"%s\","
+      "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
+      "\"iters_per_sec\":%.0f,\"tasks\":%lld,\"steals\":%lld,"
+      "\"inner_splits\":%lld}\n",
+      name.c_str(), split_dims == 1 ? "streaming_single_axis" : "streaming",
+      threads, static_cast<long long>(n),
+      static_cast<long long>(rs.total_iterations()), secs,
+      secs > 0 ? static_cast<double>(rs.total_iterations()) / secs : 0.0,
+      static_cast<long long>(rs.total_tasks()),
+      static_cast<long long>(rs.total_steals()),
+      static_cast<long long>(rs.total_inner_splits()));
+  if (final_store) *final_store = std::move(store);
+  return secs;
+}
+
+double best_of(int reps, const std::function<double()>& fn) {
+  double best = fn();
+  for (int k = 1; k < reps; ++k) best = std::min(best, fn());
+  return best;
+}
+
+/// The skewed-extent rows (always emitted) and the `--gate` checks: N-D
+/// splitting at 8 workers must beat both 1 worker and the single-axis
+/// baseline at 8 workers by >= 2x, bit-identically.
+int run_skewed(bool gate) {
+  const i64 n = 1 << 20;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads = 8;
+  int failures = 0;
+
+  struct Shape {
+    const char* name;
+    loopir::LoopNest nest;
+    bool gate_single_axis;  ///< outer extent 1: the baseline is serial
+  };
+  Shape shapes[] = {
+      {"skewed_extent", core::skewed_extent(n), false},
+      {"skewed_inner_only", inner_only(n), true},
+  };
+
+  for (Shape& s : shapes) {
+    trans::TransformPlan plan = trans::plan_transform(dep::compute_pdm(s.nest));
+
+    exec::ArrayStore ref(s.nest);
+    ref.fill_pattern();
+    exec::run_sequential(s.nest, ref);
+
+    exec::ArrayStore got_nd(s.nest), got_one(s.nest), got_axis(s.nest);
+    const int reps = gate ? 3 : 1;
+    double t_one = best_of(reps, [&] {
+      return run_streaming_split(s.name, s.nest, plan, 1, 0, n, &got_one);
+    });
+    double t_nd = best_of(reps, [&] {
+      return run_streaming_split(s.name, s.nest, plan, threads, 0, n, &got_nd);
+    });
+    double t_axis = best_of(reps, [&] {
+      return run_streaming_split(s.name, s.nest, plan, threads, 1, n,
+                                 &got_axis);
+    });
+
+    bool identical = ref == got_nd && ref == got_one && ref == got_axis;
+    double speedup_workers = t_nd > 0 ? t_one / t_nd : 0.0;
+    double speedup_axis = t_nd > 0 ? t_axis / t_nd : 0.0;
+    std::printf(
+        "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
+        "\"mode\":\"skewed_comparison\",\"threads\":%zu,\"n\":%lld,"
+        "\"speedup_8w_vs_1w\":%.3f,\"speedup_vs_single_axis\":%.3f,"
+        "\"bit_identical\":%s}\n",
+        s.name, threads, static_cast<long long>(n), speedup_workers,
+        speedup_axis, identical ? "true" : "false");
+
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: %s diverged from the sequential reference\n",
+                   s.name);
+      ++failures;
+    }
+    if (!gate) continue;
+    // The worker-scaling check needs real cores; the single-axis check only
+    // needs the baseline to be (nearly) serial, which outer extent 1
+    // guarantees on any machine with >= 2 cores.
+    if (hw >= 4 && speedup_workers < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s 8-worker speedup vs 1 worker %.2fx < 2x\n",
+                   s.name, speedup_workers);
+      ++failures;
+    }
+    if (s.gate_single_axis && hw >= 4 && speedup_axis < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s 8-worker speedup vs single-axis splitter "
+                   "%.2fx < 2x\n",
+                   s.name, speedup_axis);
+      ++failures;
+    }
+  }
+  if (gate && hw < 4)
+    std::fprintf(stderr,
+                 "gate: only %zu hardware thread(s); speedup thresholds "
+                 "skipped (bit-identity still enforced)\n",
+                 hw);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Optional scale factor (default 1): ./bench_runtime_throughput 2
+  // `--gate`: run only the skewed-extent scenario with its >= 2x checks
+  // (CI bench-smoke leg). Otherwise an optional scale factor (default 1):
+  // ./bench_runtime_throughput 2
+  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0)
+    return run_skewed(/*gate=*/true) == 0 ? 0 : 1;
   i64 scale = argc > 1 ? std::max(1L, std::atol(argv[1])) : 1;
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
 
@@ -142,5 +294,7 @@ int main(int argc, char** argv) {
                  materialized_bytes(big.iteration_count(), big.depth()));
     run_streaming(c.name, big, big_plan, hw, c.streaming_n);
   }
+
+  run_skewed(/*gate=*/false);
   return 0;
 }

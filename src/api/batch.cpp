@@ -82,6 +82,7 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
         runtime::StreamOptions so;
         so.num_threads = threads;
         so.grain = policy.grain();
+        so.split_dims = policy.split_dims();
         so.force_interpreter = policy.interpreter_only();
         group.executor = std::make_unique<runtime::StreamExecutor>(
             req.loop.nest(), req.loop.plan().transform, so);
@@ -133,6 +134,7 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
       rep.iterations = s.iterations;
       rep.tasks = s.tasks;
       rep.steals = s.steals;
+      rep.inner_splits = s.inner_splits;
       rep.wall_ns = s.done_ns;
       if (policy.digest()) rep.checksum = sources[k].store->checksum();
       rep.jit = kernels[k] != nullptr;

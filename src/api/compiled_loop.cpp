@@ -166,6 +166,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       so.num_threads =
           policy.threads() ? policy.threads() : (pool ? pool->size() : 0);
       so.grain = policy.grain();
+      so.split_dims = policy.split_dims();
       so.force_interpreter = policy.interpreter_only();
       runtime::StreamExecutor ex(*nest_, art_->plan().transform, so);
 
@@ -188,6 +189,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       rep.iterations = rs.total_iterations();
       rep.tasks = rs.total_tasks();
       rep.steals = rs.total_steals();
+      rep.inner_splits = rs.total_inner_splits();
     } else {
       exec::RunStats rs;
       if (pool) {

@@ -88,6 +88,10 @@ class ExecPolicy {
   ExecPolicy& mode(ExecMode m) { mode_ = m; return *this; }
   ExecPolicy& threads(std::size_t t) { threads_ = t; return *this; }
   ExecPolicy& grain(i64 g) { grain_ = g; return *this; }
+  /// How many transformed DOALL-prefix dimensions descriptors may box and
+  /// split (runtime/task.h). 0 = all (default); 1 reproduces the legacy
+  /// outer-only splitter. Streaming mode only.
+  ExecPolicy& split_dims(int n) { split_dims_ = n; return *this; }
   ExecPolicy& backend(ExecBackend b) { backend_ = b; return *this; }
   /// Whether ExecReport.checksum is computed (a full store scan per
   /// request — diagnostics; serving paths turn it off).
@@ -103,6 +107,7 @@ class ExecPolicy {
   ExecMode mode() const { return mode_; }
   std::size_t threads() const { return threads_; }  ///< 0 = hardware
   i64 grain() const { return grain_; }              ///< 0 = automatic
+  int split_dims() const { return split_dims_; }    ///< 0 = all
   ExecBackend backend() const { return backend_; }
   bool interpreter_only() const { return backend_ == ExecBackend::kInterpreter; }
   const jit::JitOptions& jit_options() const { return jit_; }
@@ -112,6 +117,7 @@ class ExecPolicy {
   ExecMode mode_ = ExecMode::kStreaming;
   std::size_t threads_ = 0;
   i64 grain_ = 0;
+  int split_dims_ = 0;
   ExecBackend backend_ = ExecBackend::kCompiled;
   jit::JitOptions jit_;
   bool digest_ = true;
@@ -141,6 +147,7 @@ struct ExecReport {
   i64 iterations = 0;
   i64 tasks = 0;   ///< work items (materialized) or leaf descriptors (streaming)
   i64 steals = 0;  ///< streaming only
+  i64 inner_splits = 0;  ///< descriptor splits along inner DOALL axes (streaming)
   i64 wall_ns = 0;
   i64 checksum = 0;      ///< final store digest
   bool verified = false; ///< true when produced by check()

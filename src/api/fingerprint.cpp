@@ -91,6 +91,7 @@ void render_expr(const loopir::Expr& e, std::string* key) {
     case K::kRead:
       *key += 'r';
       *key += e.ref().array;
+      *key += ';';  // names must not run into the digits that follow
       for (const loopir::AffineExpr& s : e.ref().subscripts) {
         for (intlin::i64 c : s.coeffs()) append_int(key, c);
         *key += ':';
@@ -143,6 +144,7 @@ std::string bounds_render(const loopir::LoopNest& nest) {
   for (const loopir::ArrayDecl& a : nest.arrays()) {
     key += 'A';
     key += a.name;
+    key += ';';  // terminate the name: "X1" + dim 2 must not key as "X" + 12
     for (auto [lo, hi] : a.dims) {
       put(lo);
       put(hi);
@@ -151,6 +153,7 @@ std::string bounds_render(const loopir::LoopNest& nest) {
   for (const loopir::Assign& st : nest.body()) {
     key += 'S';
     key += st.lhs.array;
+    key += ';';
     for (const loopir::AffineExpr& s : st.lhs.subscripts) {
       for (intlin::i64 c : s.coeffs()) put(c);
       key += ':';

@@ -325,31 +325,34 @@ std::string emit_c_range_kernel(const LoopNest& original,
   }
 
   os << "\nint64_t " << entry_name
-     << "(int64_t** vdep_arrays, int64_t vdep_outer_lo, int64_t vdep_outer_hi,\n"
-     << "    int64_t vdep_class_lo, int64_t vdep_class_hi) {\n";
+     << "(int64_t** vdep_arrays, const int64_t* vdep_lo, const int64_t* "
+        "vdep_hi,\n"
+     << "    int64_t vdep_ndims, int64_t vdep_class_lo, int64_t "
+        "vdep_class_hi) {\n";
   for (std::size_t a = 0; a < arrays.size(); ++a)
     os << "  int64_t* restrict vdep_buf_" << a << " = vdep_arrays[" << a
        << "];\n";
   os << "  int64_t vdep_count = 0;\n";
   if (nd == 0)
-    os << "  (void)vdep_outer_lo; (void)vdep_outer_hi;\n";
+    os << "  (void)vdep_lo; (void)vdep_hi; (void)vdep_ndims;\n";
 
   std::string indent = "  ";
-  // Outer DOALL prefix: level 0 is the descriptor's outer range, the rest
-  // scan their full bounds (matches runtime::StreamExecutor::execute_leaf).
-  if (nd > 0) {
-    const loopir::Level& l0 = nest.level(0);
-    os << indent << "for (int64_t " << l0.name << " = vdep_outer_lo; "
-       << l0.name << " <= vdep_outer_hi; ++" << l0.name << ") {\n";
+  // DOALL prefix: every level iterates its transformed bounds intersected
+  // with the descriptor's box range when the level is boxed (matches
+  // runtime::StreamExecutor::execute_leaf — callers with fewer boxed
+  // dimensions than the plan's DOALL count scan the rest in full).
+  for (int k = 0; k < nd; ++k) {
+    const loopir::Level& l = nest.level(k);
+    os << indent << "int64_t vdep_l" << k << " = "
+       << c_bound(l.lower, true, names) << ";\n"
+       << indent << "int64_t vdep_h" << k << " = "
+       << c_bound(l.upper, false, names) << ";\n"
+       << indent << "if (" << k << " < vdep_ndims) { vdep_l" << k
+       << " = vdep_max(vdep_l" << k << ", vdep_lo[" << k << "]); vdep_h" << k
+       << " = vdep_min(vdep_h" << k << ", vdep_hi[" << k << "]); }\n"
+       << indent << "for (int64_t " << l.name << " = vdep_l" << k << "; "
+       << l.name << " <= vdep_h" << k << "; ++" << l.name << ") {\n";
     indent += "  ";
-    for (int k = 1; k < nd; ++k) {
-      const loopir::Level& l = nest.level(k);
-      os << indent << "for (int64_t " << l.name << " = "
-         << c_bound(l.lower, true, names) << "; " << l.name
-         << " <= " << c_bound(l.upper, false, names) << "; ++" << l.name
-         << ") {\n";
-      indent += "  ";
-    }
   }
 
   os << indent << "for (int64_t vdep_class = vdep_class_lo; vdep_class < "

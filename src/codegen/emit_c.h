@@ -38,17 +38,18 @@ std::string emit_c_transformed(const loopir::LoopNest& original,
 /// Self-contained C99 TU for the JIT backend: one entry point
 ///
 ///   int64_t <entry>(int64_t** arrays,
-///                   int64_t outer_lo, int64_t outer_hi,
+///                   const int64_t* lo, const int64_t* hi, int64_t ndims,
 ///                   int64_t class_lo, int64_t class_hi);
 ///
-/// executing every iteration of one runtime::TaskDescriptor rectangle of
-/// `plan` natively — the outermost transformed DOALL index restricted to
-/// [outer_lo, outer_hi] (ignored when the plan has no DOALL loop), the
-/// inner DOALL prefix in full, and the Theorem-2 strided class scan for
-/// classes in [class_lo, class_hi) — returning the iteration count. Arrays
-/// arrive as raw row-major int64 buffers in nest.arrays() declaration
-/// order. No main(), no OpenMP: the streaming runtime provides the
-/// parallelism by splitting descriptors (runtime/task.h).
+/// executing every iteration of one runtime::TaskDescriptor iteration box
+/// of `plan` natively — each of the first `ndims` transformed DOALL-prefix
+/// indices restricted to its inclusive [lo[k], hi[k]] range (dimensions
+/// beyond ndims, and every dimension when the plan has no DOALL loop, scan
+/// their full bounds), then the Theorem-2 strided class scan for classes in
+/// [class_lo, class_hi) — returning the iteration count. Arrays arrive as
+/// raw row-major int64 buffers in nest.arrays() declaration order. No
+/// main(), no OpenMP: the streaming runtime provides the parallelism by
+/// splitting descriptor boxes (runtime/task.h).
 std::string emit_c_range_kernel(const loopir::LoopNest& original,
                                 const trans::TransformPlan& plan,
                                 const std::string& entry_name);

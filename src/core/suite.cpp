@@ -124,6 +124,19 @@ LoopNest matmul_reduction(i64 n) {
   return b.build();
 }
 
+LoopNest skewed_extent(i64 n) {
+  LoopNestBuilder b;
+  b.loop("i1", 0, 1).loop("i2", 0, n);
+  b.array("A", {{0, 1}, {0, n}});
+  b.array("B", {{0, 1}, {0, n}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           Expr::add(Expr::mul(b.read("B", {b.idx(0), b.idx(1)}),
+                               Expr::constant(3)),
+                     Expr::add(Expr::mul(Expr::index(0), Expr::constant(7)),
+                               Expr::index(1))));
+  return b.build();
+}
+
 std::vector<NamedNest> paper_suite(i64 n) {
   return {
       {"example_4_1", "paper §4.1: variable distance, rank-1 PDM [2 -2]",
@@ -146,6 +159,8 @@ std::vector<NamedNest> paper_suite(i64 n) {
        triangular_uniform(n)},
       {"matmul_reduction", "C[i,j] += A[i,k]*B[k,j]: i,j DOALL, k serial",
        matmul_reduction(n)},
+      {"skewed_extent", "outer extent 2, inner extent n: inner-DOALL shape",
+       skewed_extent(n)},
   };
 }
 

@@ -56,6 +56,11 @@ loopir::LoopNest triangular_uniform(i64 n);
 /// [0 0 1], so i and j are DOALL and only the reduction loop k is serial.
 loopir::LoopNest matmul_reduction(i64 n);
 
+/// Skewed DOALL extents: i1 in [0, 1] (outer extent 2), i2 in [0, n], both
+/// DOALL (dependence-free, T = I). All the parallelism lives in the inner
+/// dimension — the shape an outer-only descriptor splitter serializes.
+loopir::LoopNest skewed_extent(i64 n);
+
 /// The full suite at size n (names are stable identifiers for benches).
 std::vector<NamedNest> paper_suite(i64 n);
 

@@ -2,32 +2,45 @@
 //
 // The scan path (runtime::StreamExecutor + exec::CompiledKernel) regenerates
 // iterations in C++ and dispatches each one through a per-iteration body
-// callback. A RangeKernel instead owns the *whole* leaf rectangle
+// callback. A RangeKernel instead owns a *whole* leaf iteration box
 //
-//     [outer_lo, outer_hi]  x  [class_lo, class_hi)
+//     [lo_0, hi_0] x ... x [lo_{ndims-1}, hi_{ndims-1}]
+//                                       x  [class_lo, class_hi)
 //
-// of a runtime::TaskDescriptor: bounds evaluation, the Theorem-2 strided
+// of a runtime::TaskDescriptor: bounds evaluation over every DOALL-prefix
+// dimension (each intersected with its box range), the Theorem-2 strided
 // class scan and the statement bodies all execute inside one call, which is
 // what lets a dlopen-ed native kernel (jit::NativeKernel) run descriptor
 // leaves with zero per-iteration dispatch. Legality (Lemma 1 x Theorem 2)
-// makes disjoint rectangles write disjoint cells, so concurrent calls on
-// one shared store are safe.
+// makes disjoint boxes write disjoint cells, so concurrent calls on one
+// shared store are safe.
 #pragma once
 
 #include "exec/array_store.h"
 
 namespace vdep::exec {
 
+/// Borrowed view of one descriptor's geometry: `ndims` inclusive ranges
+/// over the transformed DOALL-prefix dimensions (outermost first) plus the
+/// half-open class range. DOALL dimensions beyond `ndims` — when a plan has
+/// more than the descriptor cap — scan their full bounds. `lo`/`hi` must
+/// stay alive for the duration of the call and may be null when ndims == 0.
+struct IterBox {
+  const i64* lo = nullptr;
+  const i64* hi = nullptr;
+  i64 ndims = 0;
+  i64 class_lo = 0;
+  i64 class_hi = 1;
+};
+
 class RangeKernel {
  public:
   virtual ~RangeKernel() = default;
 
-  /// Executes every iteration of the descriptor rectangle over `store` and
-  /// returns the number of iterations run. When the plan has no outer DOALL
-  /// dimension the outer range is the degenerate [0, 0] and is ignored.
-  /// Must be safe to call concurrently for disjoint rectangles.
-  virtual i64 execute_range(ArrayStore& store, i64 outer_lo, i64 outer_hi,
-                            i64 class_lo, i64 class_hi) const = 0;
+  /// Executes every iteration of the descriptor box over `store` and
+  /// returns the number of iterations run. Must be safe to call
+  /// concurrently for disjoint boxes.
+  virtual i64 execute_range(ArrayStore& store, const IterBox& box) const = 0;
 };
 
 /// One-time subscript range proof over the rectangular hull of `nest`'s

@@ -13,14 +13,14 @@ NativeKernel::~NativeKernel() {
 #endif
 }
 
-i64 NativeKernel::execute_range(exec::ArrayStore& store, i64 outer_lo,
-                                i64 outer_hi, i64 class_lo,
-                                i64 class_hi) const {
+i64 NativeKernel::execute_range(exec::ArrayStore& store,
+                                const exec::IterBox& box) const {
   std::vector<std::int64_t*> bufs;
   bufs.reserve(arrays_.size());
   for (const std::string& name : arrays_)
     bufs.push_back(store.raw_mutable(name).data());
-  return fn_(bufs.data(), outer_lo, outer_hi, class_lo, class_hi);
+  return fn_(bufs.data(), box.lo, box.hi, box.ndims, box.class_lo,
+             box.class_hi);
 }
 
 }  // namespace vdep::jit

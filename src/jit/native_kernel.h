@@ -2,11 +2,11 @@
 //
 // NativeKernel wraps one shared object produced by jit::ToolchainCompiler
 // from the emit_c_range_kernel TU of a plan: the resolved entry point runs
-// a whole runtime::TaskDescriptor rectangle (outer DOALL range x class
-// range) with zero per-iteration dispatch, which is what the streaming
-// workers call through exec::RangeKernel. The object stays mapped for the
-// kernel's lifetime; the backing file is unlinked right after dlopen
-// (POSIX keeps the mapping alive) unless JitOptions::keep_artifacts.
+// a whole runtime::TaskDescriptor iteration box (N-dimensional DOALL-prefix
+// ranges x class range) with zero per-iteration dispatch, which is what the
+// streaming workers call through exec::RangeKernel. The object stays mapped
+// for the kernel's lifetime; the backing file is unlinked right after
+// dlopen (POSIX keeps the mapping alive) unless JitOptions::keep_artifacts.
 //
 // Safety: the kernel indexes raw buffers without bounds checks, so a
 // kernel is only ever built after exec::prove_subscript_ranges certified
@@ -30,11 +30,11 @@ class NativeKernel final : public exec::RangeKernel {
   NativeKernel& operator=(const NativeKernel&) = delete;
   ~NativeKernel() override;
 
-  /// Runs the descriptor rectangle through the native entry point. Binds
-  /// the store's buffers by declaration-order name on every call (cheap at
-  /// descriptor granularity); safe concurrently for disjoint rectangles.
-  i64 execute_range(exec::ArrayStore& store, i64 outer_lo, i64 outer_hi,
-                    i64 class_lo, i64 class_hi) const override;
+  /// Runs the descriptor box through the native entry point. Binds the
+  /// store's buffers by declaration-order name on every call (cheap at
+  /// descriptor granularity); safe concurrently for disjoint boxes.
+  i64 execute_range(exec::ArrayStore& store,
+                    const exec::IterBox& box) const override;
 
   /// The emitted C of the loaded kernel (diagnostics / tests).
   const std::string& source() const { return source_; }
@@ -43,7 +43,8 @@ class NativeKernel final : public exec::RangeKernel {
 
  private:
   friend class ToolchainCompiler;
-  using EntryFn = std::int64_t (*)(std::int64_t**, std::int64_t, std::int64_t,
+  using EntryFn = std::int64_t (*)(std::int64_t**, const std::int64_t*,
+                                   const std::int64_t*, std::int64_t,
                                    std::int64_t, std::int64_t);
   NativeKernel(void* handle, EntryFn fn, std::vector<std::string> arrays,
                std::string source, std::string so_path)

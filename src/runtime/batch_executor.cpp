@@ -88,7 +88,7 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
   for (std::size_t s = 0; s < ns; ++s) {
     TaskDescriptor rt = sources[s].executor->root();
     rt.source = static_cast<i64>(s);
-    if (rt.outer_extent() <= 0 || rt.class_extent() <= 0) continue;
+    if (rt.empty()) continue;
     pending[s].count.store(1, std::memory_order_relaxed);
     live_sources.fetch_add(1, std::memory_order_relaxed);
     deques[seeded++ % threads]->push(rt);
@@ -113,12 +113,14 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
       WorkerStats& stats = stats_of(id, s);
       i64 t_start = now_ns();
       try {
-        while (can_split(task, ex.grain(), ex.has_outer())) {
-          TaskDescriptor high = split(task, ex.grain(), ex.has_outer());
+        while (can_split(task, ex.grain())) {
+          int axis = 0;
+          TaskDescriptor high = split(task, ex.grain(), &axis);
           pending[static_cast<std::size_t>(s)].count.fetch_add(
               1, std::memory_order_relaxed);
           deques[static_cast<std::size_t>(id)]->push(high);
           ++stats.splits;
+          ++stats.axis_splits[axis];
         }
         StreamExecutor::LeafFn& leaf = leaves[static_cast<std::size_t>(s)];
         if (!leaf) leaf = factories[static_cast<std::size_t>(s)](id, stats);
@@ -190,6 +192,8 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
       agg.iterations += w.iterations;
       agg.tasks += w.tasks;
       agg.splits += w.splits;
+      for (int axis = 1; axis < TaskDescriptor::kMaxDims; ++axis)
+        agg.inner_splits += w.axis_splits[axis];
       agg.steals += w.steals;
     }
     agg.done_ns = done_ns[s];

@@ -13,7 +13,7 @@
 // keeps the workers busy, and the fork/join cost is paid once per batch.
 //
 // Legality is per source: two descriptors of one source are disjoint
-// rectangles of that source's iteration space (Lemma 1 x Theorem 2), and
+// iteration boxes of that source's space (Lemma 1 x Theorem 2), and
 // descriptors of different sources touch different stores entirely, so any
 // interleaving is safe.
 //
@@ -50,6 +50,7 @@ struct SourceStats {
   i64 iterations = 0;
   i64 tasks = 0;   ///< leaf descriptors executed
   i64 splits = 0;
+  i64 inner_splits = 0;  ///< splits along inner DOALL axes (task.h)
   i64 steals = 0;  ///< stolen descriptors of this source
   i64 done_ns = 0; ///< batch start -> this source's last descriptor retired
 };

@@ -28,6 +28,19 @@ i64 RuntimeStats::total_iterations() const {
   return n;
 }
 
+i64 RuntimeStats::total_axis_splits(int axis) const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.axis_splits[axis];
+  return n;
+}
+
+i64 RuntimeStats::total_inner_splits() const {
+  i64 n = 0;
+  for (int axis = 1; axis < TaskDescriptor::kMaxDims; ++axis)
+    n += total_axis_splits(axis);
+  return n;
+}
+
 i64 RuntimeStats::max_busy_ns() const {
   i64 m = 0;
   for (const WorkerStats& w : workers) m = std::max(m, w.busy_ns);
@@ -45,6 +58,9 @@ std::string RuntimeStats::to_string() const {
   os << "total  " << total_tasks() << "  " << total_splits() << "  "
      << total_steals() << "  " << total_iterations() << "  wall_ms "
      << wall_ns / 1000000.0 << "\n";
+  os << "splits by axis: outer " << total_axis_splits(0) << ", inner "
+     << total_inner_splits() << ", classes "
+     << total_axis_splits(TaskDescriptor::kClassAxis) << "\n";
   return os.str();
 }
 

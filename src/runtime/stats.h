@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/task.h"
 #include "support/checked.h"
 
 namespace vdep::runtime {
@@ -24,6 +25,10 @@ struct alignas(64) WorkerStats {
   i64 steals = 0;      ///< successful steals from another worker's deque
   i64 iterations = 0;  ///< loop-body iterations executed
   i64 busy_ns = 0;     ///< wall time spent inside descriptor execution
+  /// Splits by chosen axis: slots 0..kMaxDims-1 are the boxed DOALL-prefix
+  /// dimensions (outermost first), slot kClassAxis the class range. Their
+  /// sum equals `splits`.
+  i64 axis_splits[TaskDescriptor::kMaxDims + 1] = {};
 };
 
 /// Aggregated run outcome.
@@ -35,6 +40,11 @@ struct RuntimeStats {
   i64 total_splits() const;
   i64 total_steals() const;
   i64 total_iterations() const;
+  /// Splits along one axis (0..kMaxDims-1 or TaskDescriptor::kClassAxis).
+  i64 total_axis_splits(int axis) const;
+  /// Splits along inner DOALL axes (axis >= 1, class axis excluded) — the
+  /// splits the legacy outer-only policy could never perform.
+  i64 total_inner_splits() const;
   /// Max over workers of busy_ns — the critical-path estimate.
   i64 max_busy_ns() const;
 

@@ -51,29 +51,74 @@ StreamExecutor::StreamExecutor(const loopir::LoopNest& original,
                "cover the nest");
     classes_ = part_->num_classes();
   }
+  compute_hull();
+  int limit = opts_.split_dims > 0 ? opts_.split_dims : TaskDescriptor::kMaxDims;
+  ndims_ = std::min(num_doall_, std::min(limit, TaskDescriptor::kMaxDims));
   threads_ = opts_.num_threads != 0
                  ? opts_.num_threads
                  : std::max(1u, std::thread::hardware_concurrency());
   if (opts_.grain > 0) {
     grain_ = opts_.grain;
   } else {
-    TaskDescriptor rt = root();
-    grain_ = pick_grain(std::max<i64>(rt.outer_extent(), 1), threads_,
+    grain_ = pick_grain(std::max<i64>(root().cells(), 1), threads_,
                         std::max<i64>(opts_.tasks_per_worker, 1));
+  }
+}
+
+void StreamExecutor::compute_hull() {
+  // Rectangular hull of every DOALL-prefix dimension, outermost-in: a
+  // level's bounds only reference enclosing levels, so interval arithmetic
+  // over the already-computed hulls bounds each term, and max-of-term-mins
+  // (dually min-of-term-maxes) under-approximates the space's true
+  // lower bound from below (min over points of a max is >= the max of the
+  // per-term mins). The hull is therefore a superset of the projection —
+  // leaves re-intersect with the dynamic bounds, so excess cells are just
+  // empty — and exact for the common rectangular case.
+  hull_.clear();
+  hull_.reserve(static_cast<std::size_t>(num_doall_));
+  for (int k = 0; k < num_doall_; ++k) {
+    const loopir::Level& l = tn_.nest.level(k);
+    auto term_extreme = [&](const loopir::BoundTerm& t, bool lower) -> i64 {
+      i64 acc = t.num.constant_term();
+      for (int m = 0; m < k; ++m) {
+        i64 c = t.num.coeff(m);
+        auto [bl, bh] = hull_[static_cast<std::size_t>(m)];
+        acc = checked::add(acc, checked::mul(c, (c >= 0) == lower ? bl : bh));
+      }
+      return lower ? checked::ceil_div(acc, t.den)
+                   : checked::floor_div(acc, t.den);
+    };
+    bool first = true;
+    i64 lo = 0, hi = 0;
+    for (const loopir::BoundTerm& t : l.lower.terms()) {
+      i64 v = term_extreme(t, /*lower=*/true);
+      lo = first ? v : std::max(lo, v);
+      first = false;
+    }
+    first = true;
+    for (const loopir::BoundTerm& t : l.upper.terms()) {
+      i64 v = term_extreme(t, /*lower=*/false);
+      hi = first ? v : std::min(hi, v);
+      first = false;
+    }
+    if (lo > hi) {
+      // Empty space: publish empty hulls so root() covers nothing.
+      hull_.assign(static_cast<std::size_t>(num_doall_), {0, -1});
+      return;
+    }
+    hull_.emplace_back(lo, hi);
   }
 }
 
 TaskDescriptor StreamExecutor::root() const {
   TaskDescriptor rt;
+  rt.ndims = ndims_;
+  for (int d = 0; d < ndims_; ++d) {
+    rt.lo[d] = hull_[static_cast<std::size_t>(d)].first;
+    rt.hi[d] = hull_[static_cast<std::size_t>(d)].second;
+  }
   rt.class_lo = 0;
   rt.class_hi = classes_;
-  if (has_outer()) {
-    // The outermost transformed loop's bounds are constants (bounds only
-    // reference enclosing levels, of which there are none).
-    Vec zero(static_cast<std::size_t>(depth_), 0);
-    rt.outer_lo = tn_.nest.level(0).lower.eval_lower(zero);
-    rt.outer_hi = tn_.nest.level(0).upper.eval_upper(zero);
-  }
   return rt;
 }
 
@@ -129,6 +174,11 @@ void StreamExecutor::scan_prefix(int level, const TaskDescriptor& task,
   const loopir::Level& l = tn_.nest.level(level);
   i64 lo = l.lower.eval_lower(w.j);
   i64 hi = l.upper.eval_upper(w.j);
+  if (level < task.ndims) {
+    // Boxed dimension: the leaf owns only its slice of the hull.
+    lo = std::max(lo, task.lo[level]);
+    hi = std::min(hi, task.hi[level]);
+  }
   for (i64 v = lo; v <= hi; ++v) {
     w.j[static_cast<std::size_t>(level)] = v;
     scan_prefix(level + 1, task, labels, w);
@@ -146,15 +196,7 @@ void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
     for (i64 c = task.class_lo; c < task.class_hi; ++c)
       labels.push_back(part_->class_label(c));
   }
-  if (has_outer()) {
-    for (i64 v = task.outer_lo; v <= task.outer_hi; ++v) {
-      w.j[0] = v;
-      scan_prefix(1, task, labels, w);
-    }
-    w.j[0] = 0;
-  } else {
-    scan_prefix(0, task, labels, w);
-  }
+  scan_prefix(0, task, labels, w);
 }
 
 RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
@@ -162,7 +204,7 @@ RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
   RuntimeStats out;
   out.workers.resize(threads_);
   TaskDescriptor rt = root();
-  if (rt.outer_extent() <= 0 || rt.class_extent() <= 0) return out;
+  if (rt.empty()) return out;
 
   std::vector<std::unique_ptr<WorkStealingDeque>> deques;
   deques.reserve(threads_);
@@ -188,11 +230,13 @@ RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
       try {
         // Split depth-first: push the large high halves (stolen first),
         // keep refining the low half until it is a leaf, run it.
-        while (can_split(task, grain_, has_outer())) {
-          TaskDescriptor high = split(task, grain_, has_outer());
+        while (can_split(task, grain_)) {
+          int axis = 0;
+          TaskDescriptor high = split(task, grain_, &axis);
           pending.fetch_add(1, std::memory_order_relaxed);
           deques[static_cast<std::size_t>(id)]->push(high);
           ++stats.splits;
+          ++stats.axis_splits[axis];
         }
         leaf(task);
         ++stats.tasks;
@@ -288,8 +332,13 @@ StreamExecutor::LeafFactory StreamExecutor::make_leaf_factory(
   if (kernel) {
     return [kernel, &store](int, WorkerStats& stats) -> LeafFn {
       return [kernel, &store, &stats](const TaskDescriptor& t) {
-        stats.iterations += kernel->execute_range(
-            store, t.outer_lo, t.outer_hi, t.class_lo, t.class_hi);
+        exec::IterBox box;
+        box.lo = t.lo;
+        box.hi = t.hi;
+        box.ndims = t.ndims;
+        box.class_lo = t.class_lo;
+        box.class_hi = t.class_hi;
+        stats.iterations += kernel->execute_range(store, box);
       };
     };
   }

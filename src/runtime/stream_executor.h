@@ -5,20 +5,20 @@
 // every iteration vector of every work item — O(total iterations x depth)
 // memory and build time — then replays them through a single mutex queue.
 // The StreamExecutor never builds that list. The root TaskDescriptor covers
-// the whole (outermost DOALL range) x (partition class) rectangle; workers
-// split it recursively (task.h) into leaves held in Chase-Lev deques
-// (work_queue.h), and each leaf *scans* its iterations directly from the
-// Partitioning class recurrence (trans::Partitioning, the paper's loop
-// (3.2)) or the plain transformed bounds. Peak schedule state is O(active
-// descriptors): a few dozen 32-byte rectangles, independent of the
+// the whole (DOALL-prefix hull) x (partition class) iteration box; workers
+// split it recursively along its longest axis (task.h) into leaves held in
+// Chase-Lev deques (work_queue.h), and each leaf *scans* its iterations
+// directly from the Partitioning class recurrence (trans::Partitioning, the
+// paper's loop (3.2)) or the plain transformed bounds, each boxed DOALL
+// dimension intersected with the leaf's range. Peak schedule state is
+// O(active descriptors): a few dozen small boxes, independent of the
 // iteration count.
 //
 // Loop bodies run through a shared exec::CompiledKernel with one Scratch
 // per worker; nests the kernel's one-time range proof rejects fall back to
 // the exact interpreter. Both modes produce final stores bit-identical to
 // the sequential reference — legality is the same Lemma 1 x Theorem 2
-// argument as the materialized schedule, only the cover of the rectangle
-// changed.
+// argument as the materialized schedule, only the cover of the box changed.
 #pragma once
 
 #include <functional>
@@ -40,11 +40,15 @@ using intlin::Vec;
 struct StreamOptions {
   /// Worker count; 0 means hardware concurrency.
   std::size_t num_threads = 0;
-  /// Outer-dimension chunk grain; 0 picks ~tasks_per_worker leaves per
+  /// Descriptor grain in cells; 0 picks ~tasks_per_worker leaves per
   /// worker (task.h pick_grain).
   i64 grain = 0;
   /// Target leaf descriptors per worker for the automatic grain.
   i64 tasks_per_worker = 8;
+  /// How many DOALL-prefix dimensions descriptors box and split; 0 = all
+  /// (capped at TaskDescriptor::kMaxDims). 1 reproduces the legacy
+  /// outer-only splitter.
+  int split_dims = 0;
   /// Skip the compiled kernel and always interpret (tests / debugging).
   bool force_interpreter = false;
 };
@@ -105,10 +109,13 @@ class StreamExecutor {
       exec::ArrayStore& store, const exec::RangeKernel* kernel = nullptr,
       const exec::CompiledKernel* scan_prototype = nullptr) const;
 
-  /// The root descriptor covering the full iteration space.
+  /// The root descriptor: the rectangular hull of every boxed DOALL-prefix
+  /// dimension times the full class range.
   TaskDescriptor root() const;
-  /// Whether the plan has an outer DOALL dimension to chunk along.
+  /// Whether the plan has any DOALL dimension to chunk along.
   bool has_outer() const { return num_doall_ > 0; }
+  /// DOALL-prefix dimensions descriptors box and split (<= num_doall).
+  int boxed_dims() const { return ndims_; }
   i64 grain() const { return grain_; }
   i64 num_classes() const { return classes_; }
   std::size_t num_threads() const { return threads_; }
@@ -126,6 +133,7 @@ class StreamExecutor {
   /// One scan-path worker context: Worker + recursive descriptor scan.
   LeafFn make_scan_leaf(int id, WorkerStats& stats,
                         std::function<void(const Vec&)> body) const;
+  void compute_hull();
   void execute_leaf(const TaskDescriptor& task, Worker& w) const;
   void scan_prefix(int level, const TaskDescriptor& task,
                    const std::vector<Vec>& labels, Worker& w) const;
@@ -139,9 +147,13 @@ class StreamExecutor {
   std::size_t threads_ = 1;
   int depth_ = 0;
   int num_doall_ = 0;
+  int ndims_ = 0;  ///< boxed DOALL-prefix dimensions (<= kMaxDims)
   i64 classes_ = 1;
   bool identity_ = true;  ///< T == I: transformed coords are original coords
   i64 grain_ = 1;
+  /// Rectangular hull [min, max] of each DOALL-prefix dimension over the
+  /// transformed space (interval arithmetic over the bounds, outermost-in).
+  std::vector<std::pair<i64, i64>> hull_;
 };
 
 }  // namespace vdep::runtime

@@ -1,42 +1,129 @@
 #include "runtime/task.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "support/error.h"
 
 namespace vdep::runtime {
 
+bool TaskDescriptor::empty() const {
+  if (class_extent() <= 0) return true;
+  for (int d = 0; d < ndims; ++d)
+    if (extent(d) <= 0) return true;
+  return false;
+}
+
+i64 TaskDescriptor::cells() const {
+  if (empty()) return 0;
+  i64 c = class_extent();
+  for (int d = 0; d < ndims; ++d)
+    if (__builtin_mul_overflow(c, extent(d), &c))
+      return std::numeric_limits<i64>::max();
+  return c;
+}
+
 std::string TaskDescriptor::to_string() const {
   std::ostringstream os;
-  os << "task{outer [" << outer_lo << ", " << outer_hi << "], classes ["
-     << class_lo << ", " << class_hi << ")}";
+  os << "task{box";
+  for (int d = 0; d < ndims; ++d)
+    os << (d ? " x [" : " [") << lo[d] << ", " << hi[d] << "]";
+  if (ndims == 0) os << " -";
+  os << ", classes [" << class_lo << ", " << class_hi << ")";
+  if (source != 0) os << ", source " << source;
+  os << "}";
   return os.str();
 }
 
-bool can_split(const TaskDescriptor& t, i64 grain, bool has_outer) {
-  if (has_outer && t.outer_extent() > std::max<i64>(grain, 1)) return true;
-  return t.class_extent() > 1;
+std::optional<TaskDescriptor> TaskDescriptor::from_string(
+    const std::string& s) {
+  // Mirror of to_string: "task{box [l, h] x [l, h], classes [l, h)}" with
+  // "box -" for dimension-free descriptors and an optional ", source n".
+  TaskDescriptor t;
+  std::istringstream is(s);
+  auto expect = [&](const std::string& word) {
+    std::string got;
+    is >> got;
+    return got == word;
+  };
+  auto read_i64 = [&](i64& out, char terminator) {
+    if (!(is >> out)) return false;
+    char c = 0;
+    return is.get(c) && c == terminator;
+  };
+  if (!expect("task{box")) return std::nullopt;
+  for (;;) {
+    is >> std::ws;
+    if (is.peek() == '-') {
+      is.get();
+      break;
+    }
+    if (is.peek() != '[') break;
+    if (t.ndims == kMaxDims) return std::nullopt;
+    is.get();
+    if (!read_i64(t.lo[t.ndims], ',')) return std::nullopt;
+    if (!read_i64(t.hi[t.ndims], ']')) return std::nullopt;
+    ++t.ndims;
+    is >> std::ws;
+    if (is.peek() == 'x') is.get();
+  }
+  is >> std::ws;
+  if (is.get() != ',' || !expect("classes")) return std::nullopt;
+  is >> std::ws;
+  if (is.get() != '[') return std::nullopt;
+  if (!read_i64(t.class_lo, ',')) return std::nullopt;
+  if (!read_i64(t.class_hi, ')')) return std::nullopt;
+  is >> std::ws;
+  if (is.peek() == ',') {
+    is.get();
+    if (!expect("source") || !(is >> t.source)) return std::nullopt;
+    is >> std::ws;
+  }
+  return is.get() == '}' ? std::optional<TaskDescriptor>(t) : std::nullopt;
 }
 
-TaskDescriptor split(TaskDescriptor& t, i64 grain, bool has_outer) {
-  VDEP_CHECK(can_split(t, grain, has_outer), "descriptor is not splittable");
+int pick_split_axis(const TaskDescriptor& t, i64 grain) {
+  if (t.cells() <= std::max<i64>(grain, 1)) return -1;
+  // Longest axis wins; strict comparisons keep ties on the outermost
+  // dimension and make the class range the last resort.
+  int best = -1;
+  i64 best_extent = 1;
+  for (int d = 0; d < t.ndims; ++d) {
+    if (t.extent(d) > best_extent) {
+      best = d;
+      best_extent = t.extent(d);
+    }
+  }
+  if (t.class_extent() > best_extent) best = TaskDescriptor::kClassAxis;
+  return best;
+}
+
+bool can_split(const TaskDescriptor& t, i64 grain) {
+  return pick_split_axis(t, grain) >= 0;
+}
+
+TaskDescriptor split(TaskDescriptor& t, i64 grain, int* axis_out) {
+  int axis = pick_split_axis(t, grain);
+  VDEP_CHECK(axis >= 0, "descriptor is not splittable");
+  if (axis_out) *axis_out = axis;
   TaskDescriptor high = t;
-  if (has_outer && t.outer_extent() > std::max<i64>(grain, 1)) {
-    i64 mid = t.outer_lo + (t.outer_extent() / 2);  // low half gets [lo, mid)
-    t.outer_hi = mid - 1;
-    high.outer_lo = mid;
-  } else {
-    i64 mid = t.class_lo + (t.class_extent() / 2);
+  if (axis == TaskDescriptor::kClassAxis) {
+    i64 mid = t.class_lo + t.class_extent() / 2;
     t.class_hi = mid;
     high.class_lo = mid;
+  } else {
+    i64 mid = t.lo[axis] + t.extent(axis) / 2;  // low half gets [lo, mid)
+    t.hi[axis] = mid - 1;
+    high.lo[axis] = mid;
   }
   return high;
 }
 
-i64 pick_grain(i64 outer_extent, std::size_t workers, i64 tasks_per_worker) {
+i64 pick_grain(i64 total_cells, std::size_t workers, i64 tasks_per_worker) {
   i64 target = std::max<i64>(1, static_cast<i64>(workers) * tasks_per_worker);
-  return std::max<i64>(1, outer_extent / target);
+  return std::max<i64>(1, total_cells / target);
 }
 
 }  // namespace vdep::runtime

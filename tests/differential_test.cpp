@@ -1,6 +1,8 @@
 // Cross-backend differential fuzzing: seeded random affine nests (depth
-// 1-3, coupled subscripts, variable distances) must produce bit-identical
-// final stores through every execution strategy —
+// 1-3, coupled subscripts, variable distances, a quarter of the multi-dim
+// cases with skewed extents — outer extent 1-2, innermost >= 64 — to fuzz
+// the inner-axis descriptor splitter) must produce bit-identical final
+// stores through every execution strategy —
 //
 //   sequential reference  (exec::run_sequential, the paper's semantics)
 //   streaming interpreter (ExecBackend::kInterpreter)
@@ -90,12 +92,24 @@ LoopNest random_nest(Rng& rng) {
   i64 extent = depth == 1 ? rng.uniform(20, 60)
              : depth == 2 ? rng.uniform(5, 14)
                           : rng.uniform(3, 7);
+  std::vector<i64> extents(static_cast<std::size_t>(depth), extent);
+  // A quarter of the multi-dimensional nests get skewed extents — tiny
+  // outer loop, large innermost loop — so the inner-axis descriptor
+  // splitter (runtime/task.h) is fuzzed across every backend, not only hit
+  // by the hand-written skewed suite cases.
+  if (depth >= 2 && rng.chance(1, 4)) {
+    extents[0] = rng.uniform(1, 2);
+    for (int k = 1; k + 1 < depth; ++k)
+      extents[static_cast<std::size_t>(k)] = rng.uniform(2, 4);
+    extents[static_cast<std::size_t>(depth - 1)] = rng.uniform(64, 96);
+  }
   LoopNestBuilder b;
   std::vector<std::pair<i64, i64>> box;
   for (int k = 0; k < depth; ++k) {
     i64 lo = rng.uniform(-2, 2);
-    b.loop("i" + std::to_string(k + 1), lo, lo + extent - 1);
-    box.emplace_back(lo, lo + extent - 1);
+    i64 ext = extents[static_cast<std::size_t>(k)];
+    b.loop("i" + std::to_string(k + 1), lo, lo + ext - 1);
+    box.emplace_back(lo, lo + ext - 1);
   }
 
   int arity = static_cast<int>(rng.uniform(1, depth >= 2 ? 2 : 1));

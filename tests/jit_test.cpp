@@ -25,6 +25,16 @@ trans::TransformPlan plan_for(const loopir::LoopNest& nest) {
   return trans::plan_transform(dep::compute_pdm(nest));
 }
 
+exec::IterBox box_of(const runtime::TaskDescriptor& t) {
+  exec::IterBox box;
+  box.lo = t.lo;
+  box.hi = t.hi;
+  box.ndims = t.ndims;
+  box.class_lo = t.class_lo;
+  box.class_hi = t.class_hi;
+  return box;
+}
+
 bool have_toolchain() { return jit::discover_toolchain().has_value(); }
 
 /// Restores an environment variable on scope exit.
@@ -95,13 +105,12 @@ TEST(NativeKernel, RootRectangleMatchesSequentialReference) {
 
   runtime::StreamExecutor ex(nest, plan, {});
   runtime::TaskDescriptor root = ex.root();
-  i64 iters = (*kernel)->execute_range(got, root.outer_lo, root.outer_hi,
-                                       root.class_lo, root.class_hi);
+  i64 iters = (*kernel)->execute_range(got, box_of(root));
   EXPECT_EQ(iters, nest.iteration_count());
   EXPECT_TRUE(ref == got);
 }
 
-TEST(NativeKernel, DisjointRectanglesCoverTheSpaceExactlyOnce) {
+TEST(NativeKernel, DisjointBoxesCoverTheSpaceExactlyOnce) {
   if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
   loopir::LoopNest nest = core::example41(20);
   trans::TransformPlan plan = plan_for(nest);
@@ -117,13 +126,47 @@ TEST(NativeKernel, DisjointRectanglesCoverTheSpaceExactlyOnce) {
   runtime::StreamExecutor ex(nest, plan, {});
   runtime::TaskDescriptor root = ex.root();
   // Split the outer range in two and the class range per cell: four
-  // disjoint rectangles; executing all of them must equal one root call.
-  i64 mid = (root.outer_lo + root.outer_hi) / 2;
+  // disjoint boxes; executing all of them must equal one root call.
+  i64 mid = (root.lo[0] + root.hi[0]) / 2;
   i64 iters = 0;
   for (i64 c = root.class_lo; c < root.class_hi; ++c) {
-    iters += (*kernel)->execute_range(got, root.outer_lo, mid, c, c + 1);
-    iters += (*kernel)->execute_range(got, mid + 1, root.outer_hi, c, c + 1);
+    runtime::TaskDescriptor low = root, high = root;
+    low.hi[0] = mid;
+    high.lo[0] = mid + 1;
+    low.class_lo = high.class_lo = c;
+    low.class_hi = high.class_hi = c + 1;
+    iters += (*kernel)->execute_range(got, box_of(low));
+    iters += (*kernel)->execute_range(got, box_of(high));
   }
+  EXPECT_EQ(iters, nest.iteration_count());
+  EXPECT_TRUE(ref == got);
+}
+
+TEST(NativeKernel, InnerAxisBoxesRestrictTheScan) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  // Two DOALL dimensions (skewed extents): halving the *inner* axis of the
+  // box across two calls must cover the space exactly once — the new ABI's
+  // whole point.
+  loopir::LoopNest nest = core::skewed_extent(257);
+  trans::TransformPlan plan = plan_for(nest);
+  jit::ToolchainCompiler tc;
+  auto kernel = tc.compile(nest, plan);
+  ASSERT_TRUE(kernel.has_value()) << kernel.error().to_string();
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+
+  runtime::StreamExecutor ex(nest, plan, {});
+  runtime::TaskDescriptor root = ex.root();
+  ASSERT_EQ(root.ndims, 2);
+  runtime::TaskDescriptor low = root, high = root;
+  i64 mid = (root.lo[1] + root.hi[1]) / 2;
+  low.hi[1] = mid;
+  high.lo[1] = mid + 1;
+  i64 iters = (*kernel)->execute_range(got, box_of(low)) +
+              (*kernel)->execute_range(got, box_of(high));
   EXPECT_EQ(iters, nest.iteration_count());
   EXPECT_TRUE(ref == got);
 }

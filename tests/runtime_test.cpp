@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/vdep.h"
@@ -27,10 +30,25 @@ trans::TransformPlan plan_for(const loopir::LoopNest& nest) {
   return trans::plan_transform(dep::compute_pdm(nest));
 }
 
+/// 1-axis box (the legacy rectangle shape) over classes [clo, chi).
 TaskDescriptor task(i64 olo, i64 ohi, i64 clo, i64 chi) {
   TaskDescriptor t;
-  t.outer_lo = olo;
-  t.outer_hi = ohi;
+  t.ndims = 1;
+  t.lo[0] = olo;
+  t.hi[0] = ohi;
+  t.class_lo = clo;
+  t.class_hi = chi;
+  return t;
+}
+
+/// N-axis box from (lo, hi) pairs over classes [clo, chi).
+TaskDescriptor box(std::vector<std::pair<i64, i64>> dims, i64 clo, i64 chi) {
+  TaskDescriptor t;
+  t.ndims = static_cast<int>(dims.size());
+  for (int d = 0; d < t.ndims; ++d) {
+    t.lo[d] = dims[static_cast<std::size_t>(d)].first;
+    t.hi[d] = dims[static_cast<std::size_t>(d)].second;
+  }
   t.class_lo = clo;
   t.class_hi = chi;
   return t;
@@ -44,7 +62,7 @@ TEST(WorkQueue, OwnerPopIsLifo) {
   TaskDescriptor t;
   for (i64 k = 9; k >= 0; --k) {
     ASSERT_TRUE(q.pop(t));
-    EXPECT_EQ(t.outer_lo, k);
+    EXPECT_EQ(t.lo[0], k);
   }
   EXPECT_FALSE(q.pop(t));
 }
@@ -55,7 +73,7 @@ TEST(WorkQueue, StealIsFifo) {
   TaskDescriptor t;
   for (i64 k = 0; k < 10; ++k) {
     ASSERT_TRUE(q.steal(t));
-    EXPECT_EQ(t.outer_lo, k);
+    EXPECT_EQ(t.lo[0], k);
   }
   EXPECT_FALSE(q.steal(t));
 }
@@ -67,7 +85,7 @@ TEST(WorkQueue, GrowsPastInitialCapacity) {
   TaskDescriptor t;
   for (i64 k = 999; k >= 0; --k) {
     ASSERT_TRUE(q.pop(t));
-    EXPECT_EQ(t.outer_lo, k);
+    EXPECT_EQ(t.lo[0], k);
   }
 }
 
@@ -82,7 +100,7 @@ TEST(WorkQueue, ConcurrentStealsConsumeEachTaskOnce) {
   std::atomic<bool> done{false};
 
   auto consume = [&](const TaskDescriptor& t) {
-    seen[static_cast<std::size_t>(t.outer_lo)].fetch_add(1);
+    seen[static_cast<std::size_t>(t.lo[0])].fetch_add(1);
   };
 
   std::vector<std::thread> thieves;
@@ -112,11 +130,11 @@ TEST(WorkQueue, ConcurrentStealsConsumeEachTaskOnce) {
 // ----------------------------------------------------------- descriptors
 
 // Recursively splits like a worker would and collects the leaves.
-void collect_leaves(TaskDescriptor t, i64 grain, bool has_outer,
+void collect_leaves(TaskDescriptor t, i64 grain,
                     std::vector<TaskDescriptor>& out) {
-  while (can_split(t, grain, has_outer)) {
-    TaskDescriptor high = split(t, grain, has_outer);
-    collect_leaves(high, grain, has_outer, out);
+  while (can_split(t, grain)) {
+    TaskDescriptor high = split(t, grain);
+    collect_leaves(high, grain, out);
   }
   out.push_back(t);
 }
@@ -125,13 +143,14 @@ TEST(TaskSplit, LeavesCoverRootExactlyOnce) {
   for (i64 grain : {1, 3, 7, 100}) {
     TaskDescriptor root = task(-17, 41, 0, 6);
     std::vector<TaskDescriptor> leaves;
-    collect_leaves(root, grain, /*has_outer=*/true, leaves);
+    collect_leaves(root, grain, leaves);
     // Every (outer value, class) cell of the rectangle exactly once.
     std::vector<std::pair<i64, i64>> cells;
     for (const TaskDescriptor& l : leaves) {
-      EXPECT_LE(l.outer_lo, l.outer_hi);
+      EXPECT_LE(l.lo[0], l.hi[0]);
       EXPECT_LT(l.class_lo, l.class_hi);
-      for (i64 v = l.outer_lo; v <= l.outer_hi; ++v)
+      EXPECT_LE(l.cells(), std::max<i64>(grain, 1));
+      for (i64 v = l.lo[0]; v <= l.hi[0]; ++v)
         for (i64 c = l.class_lo; c < l.class_hi; ++c) cells.push_back({v, c});
     }
     std::sort(cells.begin(), cells.end());
@@ -144,31 +163,115 @@ TEST(TaskSplit, LeavesCoverRootExactlyOnce) {
   }
 }
 
+TEST(TaskSplit, ThreeAxisSplitsCoverDisjointly) {
+  // The disjoint-cover property of recursive splits must hold over a full
+  // 3-axis box x class range, not just the legacy rectangle.
+  for (i64 grain : {1, 4, 17}) {
+    TaskDescriptor root = box({{0, 5}, {-3, 4}, {2, 9}}, 0, 3);
+    std::vector<TaskDescriptor> leaves;
+    collect_leaves(root, grain, leaves);
+    std::vector<std::array<i64, 4>> cells;
+    for (const TaskDescriptor& l : leaves) {
+      EXPECT_FALSE(l.empty());
+      EXPECT_LE(l.cells(), std::max<i64>(grain, 1));
+      for (i64 a = l.lo[0]; a <= l.hi[0]; ++a)
+        for (i64 b = l.lo[1]; b <= l.hi[1]; ++b)
+          for (i64 c = l.lo[2]; c <= l.hi[2]; ++c)
+            for (i64 k = l.class_lo; k < l.class_hi; ++k)
+              cells.push_back({a, b, c, k});
+    }
+    std::sort(cells.begin(), cells.end());
+    ASSERT_EQ(std::adjacent_find(cells.begin(), cells.end()), cells.end())
+        << "duplicated cell at grain " << grain;
+    ASSERT_EQ(static_cast<i64>(cells.size()), root.cells())
+        << "dropped cells at grain " << grain;
+  }
+}
+
 TEST(TaskSplit, RespectsGrainAlongOuter) {
   TaskDescriptor root = task(0, 1023, 0, 1);
   std::vector<TaskDescriptor> leaves;
-  collect_leaves(root, 16, true, leaves);
+  collect_leaves(root, 16, leaves);
   for (const TaskDescriptor& l : leaves) {
-    EXPECT_LE(l.outer_extent(), 16);
-    EXPECT_GT(l.outer_extent(), 16 / 2 - 1);  // halving never undershoots much
+    EXPECT_LE(l.extent(0), 16);
+    EXPECT_GT(l.extent(0), 16 / 2 - 1);  // halving never undershoots much
     EXPECT_EQ(l.class_extent(), 1);
   }
 }
 
-TEST(TaskSplit, NoOuterDimensionSplitsClassesOnly) {
-  TaskDescriptor root = task(0, 0, 0, 8);
-  EXPECT_TRUE(can_split(root, 1, /*has_outer=*/false));
+TEST(TaskSplit, LongestAxisWinsOutermostFirstOnTies) {
+  // The longest axis is halved first...
+  TaskDescriptor t = box({{0, 3}, {0, 15}, {0, 3}}, 0, 2);
+  EXPECT_EQ(pick_split_axis(t, 1), 1);
+  int axis = -1;
+  TaskDescriptor high = split(t, 1, &axis);
+  EXPECT_EQ(axis, 1);
+  EXPECT_EQ(t.extent(1), 8);
+  EXPECT_EQ(high.extent(1), 8);
+  // ...ties go to the outermost dimension...
+  EXPECT_EQ(pick_split_axis(box({{0, 7}, {0, 7}}, 0, 1), 1), 0);
+  // ...and the class range only wins when strictly longest.
+  EXPECT_EQ(pick_split_axis(box({{0, 3}}, 0, 4), 1), 0);
+  EXPECT_EQ(pick_split_axis(box({{0, 3}}, 0, 5), 1),
+            TaskDescriptor::kClassAxis);
+}
+
+TEST(TaskSplit, DegenerateAxesNeverSplit) {
+  // Extent-1 axes must never be chosen, whatever the other axes do.
+  TaskDescriptor root = box({{7, 7}, {0, 63}, {-2, -2}}, 0, 1);
   std::vector<TaskDescriptor> leaves;
-  collect_leaves(root, 1, false, leaves);
+  collect_leaves(root, 1, leaves);
+  EXPECT_EQ(leaves.size(), 64u);
+  for (const TaskDescriptor& l : leaves) {
+    EXPECT_EQ(l.extent(0), 1);
+    EXPECT_EQ(l.extent(1), 1);
+    EXPECT_EQ(l.extent(2), 1);
+    EXPECT_EQ(l.class_extent(), 1);
+  }
+  // A fully degenerate box is a leaf even at grain 0.
+  EXPECT_FALSE(can_split(box({{3, 3}, {5, 5}}, 2, 3), 0));
+}
+
+TEST(TaskSplit, NoDimensionsSplitsClassesOnly) {
+  TaskDescriptor root;
+  root.class_lo = 0;
+  root.class_hi = 8;
+  EXPECT_TRUE(can_split(root, 1));
+  std::vector<TaskDescriptor> leaves;
+  collect_leaves(root, 1, leaves);
   EXPECT_EQ(leaves.size(), 8u);
   for (const TaskDescriptor& l : leaves) EXPECT_EQ(l.class_extent(), 1);
 }
 
 TEST(TaskSplit, SingleCellIsNotSplittable) {
-  EXPECT_FALSE(can_split(task(3, 3, 2, 3), 1, true));
-  // Without an outer dimension a multi-class range still splits.
-  EXPECT_TRUE(can_split(task(0, 7, 0, 4), 8, false));
-  EXPECT_FALSE(can_split(task(0, 7, 2, 3), 8, false));
+  EXPECT_FALSE(can_split(task(3, 3, 2, 3), 1));
+  // A multi-cell box splits while it is over the grain, whichever axis
+  // carries the extent...
+  EXPECT_TRUE(can_split(task(0, 7, 0, 4), 8));
+  // ...and is a leaf once cells() fits the grain.
+  EXPECT_FALSE(can_split(task(0, 7, 2, 3), 8));
+}
+
+TEST(TaskDescriptorIo, ToStringRoundTripsAThreeAxisBox) {
+  TaskDescriptor t = box({{-4, 17}, {0, 511}, {2, 2}}, 1, 5);
+  std::optional<TaskDescriptor> back = TaskDescriptor::from_string(t.to_string());
+  ASSERT_TRUE(back.has_value()) << t.to_string();
+  EXPECT_EQ(*back, t);
+
+  // Source tags survive, and dimension-free descriptors round-trip too.
+  t.source = 42;
+  back = TaskDescriptor::from_string(t.to_string());
+  ASSERT_TRUE(back.has_value()) << t.to_string();
+  EXPECT_EQ(*back, t);
+
+  TaskDescriptor classes_only;
+  classes_only.class_hi = 6;
+  back = TaskDescriptor::from_string(classes_only.to_string());
+  ASSERT_TRUE(back.has_value()) << classes_only.to_string();
+  EXPECT_EQ(*back, classes_only);
+
+  EXPECT_FALSE(TaskDescriptor::from_string("task{box [1, 2}").has_value());
+  EXPECT_FALSE(TaskDescriptor::from_string("nonsense").has_value());
 }
 
 // ------------------------------------------------- streaming == reference
@@ -248,6 +351,86 @@ TEST(Streaming, TraceCoversIterationSpaceExactlyOnce) {
     std::sort(expected.begin(), expected.end());
     EXPECT_EQ(streamed, expected) << c.name;
   }
+}
+
+// ------------------------------------------------- skewed-extent splitting
+
+TEST(Streaming, SkewedNestSplitsInnerAxesBitIdentically) {
+  // Outer extent 2, inner DOALL extent 601: the legacy outer-only splitter
+  // produced at most two unsplittable leaves here. N-D boxes must split the
+  // inner axis (nonzero inner-axis split counters, many leaves) and still
+  // match the sequential reference bit for bit.
+  loopir::LoopNest nest = core::skewed_extent(600);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_EQ(plan.num_doall, 2);
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore init = ref;
+  exec::run_sequential(nest, ref);
+
+  StreamOptions so;
+  so.num_threads = 8;
+  StreamExecutor ex(nest, plan, so);
+  EXPECT_EQ(ex.boxed_dims(), 2);
+  exec::ArrayStore got = init;
+  RuntimeStats rs = ex.run(got);
+  EXPECT_EQ(ref, got);
+  EXPECT_EQ(rs.total_iterations(), nest.iteration_count());
+  EXPECT_GT(rs.total_inner_splits(), 0);
+  EXPECT_GT(rs.total_tasks(), 8);  // far beyond the 2 outer-only leaves
+
+  // split_dims = 1 reproduces the legacy single-axis splitter: correct,
+  // but stuck at the two outer leaves with zero inner splits.
+  StreamOptions legacy;
+  legacy.num_threads = 8;
+  legacy.split_dims = 1;
+  StreamExecutor ex1(nest, plan, legacy);
+  EXPECT_EQ(ex1.boxed_dims(), 1);
+  exec::ArrayStore got1 = init;
+  RuntimeStats rs1 = ex1.run(got1);
+  EXPECT_EQ(ref, got1);
+  EXPECT_EQ(rs1.total_inner_splits(), 0);
+  EXPECT_LE(rs1.total_tasks(), 2);
+}
+
+TEST(Streaming, BoxedDimsIntersectDynamicBoundsOnTriangularSpaces) {
+  // variable_3deep has two DOALL prefix dimensions after Algorithm 1 whose
+  // transformed bounds couple; the hull box over-approximates, so leaves
+  // must re-intersect with the dynamic bounds. Maximal splitting is the
+  // sharpest stress of that intersection.
+  loopir::LoopNest nest = core::variable_3deep(7);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_GE(plan.num_doall, 2);
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+
+  StreamOptions so;
+  so.num_threads = 4;
+  so.grain = 1;
+  StreamExecutor ex(nest, plan, so);
+  RuntimeStats rs = ex.run(got);
+  EXPECT_EQ(ref, got);
+  EXPECT_EQ(rs.total_iterations(), nest.iteration_count());
+}
+
+TEST(Parallelizer, SplitDimsPolicyAndInnerSplitReporting) {
+  vdep::Compiler compiler;
+  vdep::CompiledLoop loop = compiler.compile(core::skewed_extent(520)).value();
+
+  vdep::ExecReport nd =
+      loop.check(vdep::ExecPolicy{}.threads(8)).value();
+  EXPECT_TRUE(nd.verified);
+  EXPECT_GT(nd.inner_splits, 0);
+
+  vdep::ExecReport legacy =
+      loop.check(vdep::ExecPolicy{}.threads(8).split_dims(1)).value();
+  EXPECT_TRUE(legacy.verified);
+  EXPECT_EQ(legacy.inner_splits, 0);
+  EXPECT_EQ(nd.checksum, legacy.checksum);
 }
 
 // ----------------------------------------------------------------- stats
