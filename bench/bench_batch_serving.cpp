@@ -41,6 +41,12 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+std::size_t hw_threads() {
+  static const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  return hw;
+}
+
 struct Measure {
   double seconds = 0;
   i64 requests = 0;
@@ -57,10 +63,11 @@ void emit(const char* scenario, const char* mode, std::size_t threads, i64 n,
           const Measure& m) {
   std::printf(
       "{\"bench\":\"batch_serving\",\"scenario\":\"%s\",\"mode\":\"%s\","
-      "\"requests\":%lld,\"threads\":%zu,\"n\":%lld,\"seconds\":%.6f,"
+      "\"requests\":%lld,\"threads\":%zu,\"hw_threads\":%zu,\"n\":%lld,"
+      "\"seconds\":%.6f,"
       "\"requests_per_sec\":%.0f}\n",
       scenario, mode, static_cast<long long>(m.requests), threads,
-      static_cast<long long>(n), m.seconds, m.rps());
+      hw_threads(), static_cast<long long>(n), m.seconds, m.rps());
 }
 
 // Runs `body(checksums)` repeatedly (each repetition = one full pass over
@@ -90,11 +97,11 @@ int main(int argc, char** argv) {
   for (int k = 1; k < argc; ++k)
     if (std::strcmp(argv[k], "--gate") == 0) gate = true;
 
-  // Serving worker-pool size: at least 4 contexts even on small hosts, so
-  // the per-request fork/join cost the batch path amortizes is what a real
-  // multi-worker deployment would pay.
-  const std::size_t threads =
-      std::max(4u, std::thread::hardware_concurrency());
+  // Serving worker-pool size: the host's real thread count. Forcing 4+
+  // contexts on a 1-2 core host oversubscribes every measured mode and
+  // quietly distorts the baseline-vs-batch comparison; the row's
+  // hw_threads field is what makes small-host numbers interpretable.
+  const std::size_t threads = hw_threads();
   const int reqs = 64;
   const i64 n = 32;  // example41: (2n+1)^2 iterations per request
   Compiler compiler(CompileOptions{}.pool_threads(threads));
@@ -149,9 +156,10 @@ int main(int argc, char** argv) {
         baseline.rps() > 0 ? batch.rps() / baseline.rps() : 0.0;
     std::printf(
         "{\"bench\":\"batch_serving\",\"scenario\":\"same_structure_64\","
-        "\"mode\":\"comparison\",\"requests\":%d,\"threads\":%zu,\"n\":%lld,"
+        "\"mode\":\"comparison\",\"requests\":%d,\"threads\":%zu,"
+        "\"hw_threads\":%zu,\"n\":%lld,"
         "\"speedup\":%.3f,\"checksum_identical\":%s}\n",
-        reqs, threads, static_cast<long long>(n), speedup,
+        reqs, threads, hw_threads(), static_cast<long long>(n), speedup,
         identical ? "true" : "false");
     if (!identical) gate_ok = false;
   }
@@ -215,10 +223,11 @@ int main(int argc, char** argv) {
         baseline.rps() > 0 ? batch.rps() / baseline.rps() : 0.0;
     std::printf(
         "{\"bench\":\"batch_serving\",\"scenario\":\"same_structure_64_jit\","
-        "\"mode\":\"comparison\",\"requests\":%d,\"threads\":%zu,\"n\":%lld,"
+        "\"mode\":\"comparison\",\"requests\":%d,\"threads\":%zu,"
+        "\"hw_threads\":%zu,\"n\":%lld,"
         "\"speedup\":%.3f,\"native\":%s,\"store_identical\":%s,\"gate\":2.0}"
         "\n",
-        reqs, threads, static_cast<long long>(gn), speedup,
+        reqs, threads, hw_threads(), static_cast<long long>(gn), speedup,
         native ? "true" : "false", identical ? "true" : "false");
     gate_ok = gate_ok && baseline.ok && batch.ok && native && identical &&
               speedup >= 2.0;
@@ -258,8 +267,9 @@ int main(int argc, char** argv) {
     std::printf(
         "{\"bench\":\"batch_serving\",\"scenario\":\"mixed_bounds_64\","
         "\"mode\":\"comparison\",\"requests\":%d,\"threads\":%zu,"
+        "\"hw_threads\":%zu,"
         "\"speedup\":%.3f,\"checksum_identical\":%s}\n",
-        reqs, threads,
+        reqs, threads, hw_threads(),
         baseline.rps() > 0 ? batch.rps() / baseline.rps() : 0.0,
         (baseline.ok && batch.ok && baseline.checksums == batch.checksums)
             ? "true"
@@ -284,15 +294,16 @@ int main(int argc, char** argv) {
     if (!loops) {
       std::printf(
           "{\"bench\":\"batch_serving\",\"scenario\":\"mixed_structures\","
-          "\"error\":\"%s\"}\n",
-          loops.error().to_string().c_str());
+          "\"hw_threads\":%zu,\"error\":\"%s\"}\n",
+          hw_threads(), loops.error().to_string().c_str());
       return gate && !gate_ok ? 1 : 0;
     }
     std::printf(
         "{\"bench\":\"batch_serving\",\"scenario\":\"mixed_structures\","
-        "\"mode\":\"compile_all\",\"requests\":%zu,\"analyses\":%lld,"
+        "\"mode\":\"compile_all\",\"requests\":%zu,\"hw_threads\":%zu,"
+        "\"analyses\":%lld,"
         "\"cache_hits\":%lld}\n",
-        batch_nests.size(),
+        batch_nests.size(), hw_threads(),
         static_cast<long long>(after.misses - before.misses),
         static_cast<long long>(after.hits - before.hits));
 
@@ -324,8 +335,9 @@ int main(int argc, char** argv) {
     std::printf(
         "{\"bench\":\"batch_serving\",\"scenario\":\"mixed_structures\","
         "\"mode\":\"comparison\",\"requests\":%lld,\"threads\":%zu,"
+        "\"hw_threads\":%zu,"
         "\"speedup\":%.3f,\"checksum_identical\":%s}\n",
-        static_cast<long long>(per_rep), threads,
+        static_cast<long long>(per_rep), threads, hw_threads(),
         baseline.rps() > 0 ? batch.rps() / baseline.rps() : 0.0,
         (baseline.ok && batch.ok && baseline.checksums == batch.checksums)
             ? "true"
@@ -334,8 +346,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "{\"bench\":\"batch_serving\",\"scenario\":\"ALL\",\"threads\":%zu,"
+      "\"hw_threads\":%zu,"
       "\"gate_scenario_speedup\":%.2f,\"gate\":2.0,\"gate_ok\":%s}\n",
-      threads, gate_speedup, gate_ok ? "true" : "false");
+      threads, hw_threads(), gate_speedup, gate_ok ? "true" : "false");
 
   if (gate && !gate_ok) {
     std::fprintf(stderr,

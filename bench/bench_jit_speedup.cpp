@@ -81,13 +81,20 @@ Sample run_backend(const CompiledLoop& loop, ExecBackend backend,
   return s;
 }
 
+std::size_t hw_threads() {
+  static const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  return hw;
+}
+
 void emit(const std::string& name, const char* backend, std::size_t threads,
           i64 n, const Sample& s) {
   std::printf(
       "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"backend\":\"%s\","
+      "\"hw_threads\":%zu,"
       "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
       "\"iters_per_sec\":%.0f,\"jit\":%s}\n",
-      name.c_str(), backend, threads, static_cast<long long>(n),
+      name.c_str(), backend, hw_threads(), threads, static_cast<long long>(n),
       static_cast<long long>(s.iterations), s.seconds,
       s.seconds > 0 ? static_cast<double>(s.iterations) / s.seconds : 0.0,
       s.jit ? "true" : "false");
@@ -132,8 +139,9 @@ int main(int argc, char** argv) {
     Expected<CompiledLoop> loop = compiler.compile(nest);
     if (!loop) {
       std::printf(
-          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"error\":\"%s\"}\n",
-          c.name.c_str(), loop.error().to_string().c_str());
+          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"hw_threads\":%zu,"
+          "\"error\":\"%s\"}\n",
+          c.name.c_str(), hw_threads(), loop.error().to_string().c_str());
       ++fallbacks;
       continue;
     }
@@ -145,8 +153,9 @@ int main(int argc, char** argv) {
     Sample jit = run_backend(*loop, ExecBackend::kJit, threads, 0.05, 50);
     if (!interp.ok || !compiled.ok || !jit.ok) {
       std::printf(
-          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"error\":\"%s\"}\n",
-          c.name.c_str(),
+          "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"hw_threads\":%zu,"
+          "\"error\":\"%s\"}\n",
+          c.name.c_str(), hw_threads(),
           (!interp.ok ? interp : !compiled.ok ? compiled : jit).error.c_str());
       ++fallbacks;
       continue;
@@ -161,9 +170,11 @@ int main(int argc, char** argv) {
     double vs_compiled = throughput(jit) / throughput(compiled);
     std::printf(
         "{\"bench\":\"jit_speedup\",\"name\":\"%s\",\"mode\":\"comparison\","
+        "\"hw_threads\":%zu,"
         "\"threads\":%zu,\"n\":%lld,\"jit_vs_interpreter\":%.3f,"
         "\"jit_vs_compiled\":%.3f,\"native\":%s,\"checksum_identical\":%s}\n",
-        c.name.c_str(), threads, static_cast<long long>(n), vs_interp,
+        c.name.c_str(), hw_threads(), threads, static_cast<long long>(n),
+        vs_interp,
         vs_compiled, jit.jit ? "true" : "false", identical ? "true" : "false");
 
     ++kernels;
@@ -176,11 +187,13 @@ int main(int argc, char** argv) {
   double geo_interp = kernels ? std::exp(log_sum_interp / kernels) : 0.0;
   double geo_compiled = kernels ? std::exp(log_sum_compiled / kernels) : 0.0;
   std::printf(
-      "{\"bench\":\"jit_speedup\",\"name\":\"ALL\",\"kernels\":%d,"
+      "{\"bench\":\"jit_speedup\",\"name\":\"ALL\",\"hw_threads\":%zu,"
+      "\"kernels\":%d,"
       "\"threads\":%zu,\"jit_vs_interpreter_geomean\":%.2f,"
       "\"jit_vs_compiled_geomean\":%.2f,\"fallbacks\":%d,"
       "\"checksum_mismatches\":%d,\"gate\":2.0}\n",
-      kernels, threads, geo_interp, geo_compiled, fallbacks, mismatches);
+      hw_threads(), kernels, threads, geo_interp, geo_compiled, fallbacks,
+      mismatches);
 
   if (gate && (kernels == 0 || fallbacks > 0 || mismatches > 0 ||
                geo_interp < 2.0)) {

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/vdep.h"
@@ -21,6 +22,12 @@ using namespace vdep;
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+std::size_t hw_threads() {
+  static const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  return hw;
+}
 
 i64 ns_since(Clock::time_point t0) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -90,10 +97,11 @@ int main(int argc, char** argv) {
     total_misses += s.misses;
 
     std::printf(
-        "{\"bench\":\"plan_cache\",\"name\":\"%s\",\"cold_ns\":%lld,"
+        "{\"bench\":\"plan_cache\",\"name\":\"%s\",\"hw_threads\":%zu,"
+        "\"cold_ns\":%lld,"
         "\"hit_ns\":%lld,\"speedup\":%.1f,\"sizes\":%d,\"hits\":%lld,"
         "\"misses\":%lld,\"hit_rate\":%.4f}\n",
-        name.c_str(), static_cast<long long>(cold_ns),
+        name.c_str(), hw_threads(), static_cast<long long>(cold_ns),
         static_cast<long long>(hit_ns), speedup, kSizes,
         static_cast<long long>(s.hits), static_cast<long long>(s.misses),
         s.hit_rate());
@@ -106,10 +114,11 @@ int main(int argc, char** argv) {
                 static_cast<double>(total_hits + total_misses)
           : 0.0;
   std::printf(
-      "{\"bench\":\"plan_cache\",\"name\":\"ALL\",\"kernels\":%zu,"
+      "{\"bench\":\"plan_cache\",\"name\":\"ALL\",\"hw_threads\":%zu,"
+      "\"kernels\":%zu,"
       "\"speedup_geomean\":%.1f,\"hits\":%lld,\"misses\":%lld,"
       "\"hit_rate\":%.4f}\n",
-      names.size(), geomean, static_cast<long long>(total_hits),
+      hw_threads(), names.size(), geomean, static_cast<long long>(total_hits),
       static_cast<long long>(total_misses), pooled_rate);
 
   // The acceptance gate: cache-hit compile must be >= 10x faster than cold.

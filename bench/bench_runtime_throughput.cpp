@@ -34,6 +34,7 @@
 #include "exec/interpreter.h"
 #include "exec/runner.h"
 #include "loopir/builder.h"
+#include "obs/trace.h"
 #include "runtime/stream_executor.h"
 #include "trans/planner.h"
 
@@ -47,6 +48,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Physical thread count of the host, stamped into every JSON row so
+/// speedup figures are interpretable across machines.
+std::size_t hw_threads() {
+  static const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return hw;
+}
+
 // Estimated heap footprint of a materialized Schedule: one std::vector<i64>
 // per iteration (header + depth coefficients) plus the per-item vectors.
 i64 materialized_bytes(i64 iterations, int depth) {
@@ -58,10 +66,12 @@ void emit(const std::string& name, const std::string& mode,
           i64 steals, i64 sched_bytes) {
   std::printf(
       "{\"bench\":\"runtime_throughput\",\"name\":\"%s\",\"mode\":\"%s\","
-      "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
+      "\"threads\":%zu,\"hw_threads\":%zu,\"n\":%lld,\"iterations\":%lld,"
+      "\"seconds\":%.6f,"
       "\"iters_per_sec\":%.0f,\"tasks\":%lld,\"steals\":%lld,"
       "\"sched_bytes\":%lld}\n",
-      name.c_str(), mode.c_str(), threads, static_cast<long long>(n),
+      name.c_str(), mode.c_str(), threads, hw_threads(),
+      static_cast<long long>(n),
       static_cast<long long>(iterations), secs,
       secs > 0 ? static_cast<double>(iterations) / secs : 0.0,
       static_cast<long long>(tasks), static_cast<long long>(steals),
@@ -72,9 +82,10 @@ void emit_skipped(const std::string& name, std::size_t threads, i64 n,
                   i64 est_bytes) {
   std::printf(
       "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
-      "\"mode\":\"materialized\",\"threads\":%zu,\"n\":%lld,"
+      "\"mode\":\"materialized\",\"threads\":%zu,\"hw_threads\":%zu,"
+      "\"n\":%lld,"
       "\"skipped\":\"schedule_too_large\",\"est_sched_bytes\":%lld}\n",
-      name.c_str(), threads, static_cast<long long>(n),
+      name.c_str(), threads, hw_threads(), static_cast<long long>(n),
       static_cast<long long>(est_bytes));
 }
 
@@ -154,11 +165,12 @@ double run_streaming_split(const std::string& name, const loopir::LoopNest& nest
   double secs = seconds_since(t0);
   std::printf(
       "{\"bench\":\"runtime_throughput\",\"name\":\"%s\",\"mode\":\"%s\","
-      "\"threads\":%zu,\"n\":%lld,\"iterations\":%lld,\"seconds\":%.6f,"
+      "\"threads\":%zu,\"hw_threads\":%zu,\"n\":%lld,\"iterations\":%lld,"
+      "\"seconds\":%.6f,"
       "\"iters_per_sec\":%.0f,\"tasks\":%lld,\"steals\":%lld,"
       "\"inner_splits\":%lld}\n",
       name.c_str(), split_dims == 1 ? "streaming_single_axis" : "streaming",
-      threads, static_cast<long long>(n),
+      threads, hw_threads(), static_cast<long long>(n),
       static_cast<long long>(rs.total_iterations()), secs,
       secs > 0 ? static_cast<double>(rs.total_iterations()) / secs : 0.0,
       static_cast<long long>(rs.total_tasks()),
@@ -218,11 +230,12 @@ int run_skewed(bool gate) {
     double speedup_axis = t_nd > 0 ? t_axis / t_nd : 0.0;
     std::printf(
         "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
-        "\"mode\":\"skewed_comparison\",\"threads\":%zu,\"n\":%lld,"
+        "\"mode\":\"skewed_comparison\",\"threads\":%zu,\"hw_threads\":%zu,"
+        "\"n\":%lld,"
         "\"speedup_8w_vs_1w\":%.3f,\"speedup_vs_single_axis\":%.3f,"
         "\"bit_identical\":%s}\n",
-        s.name, threads, static_cast<long long>(n), speedup_workers,
-        speedup_axis, identical ? "true" : "false");
+        s.name, threads, hw_threads(), static_cast<long long>(n),
+        speedup_workers, speedup_axis, identical ? "true" : "false");
 
     if (!identical) {
       std::fprintf(stderr, "FAIL: %s diverged from the sequential reference\n",
@@ -255,14 +268,99 @@ int run_skewed(bool gate) {
   return failures;
 }
 
+// ------------------------------------------------ tracing overhead gate
+
+/// Interleaved best-of comparison of the same streaming run with the
+/// global TraceRecorder disabled vs enabled. The instrumentation is
+/// per-leaf/per-split (never per-iteration), so even the *enabled* run
+/// must stay within the gate; the disabled configuration does strictly
+/// less (one cached-flag branch per site), so passing here bounds the
+/// "compiled in but off" overhead from above.
+int run_trace_overhead(bool gate) {
+  const i64 n = 1 << 22;
+  const std::size_t threads = std::min<std::size_t>(hw_threads(), 8);
+  loopir::LoopNest nest = inner_only(n);
+  trans::TransformPlan plan = trans::plan_transform(dep::compute_pdm(nest));
+  runtime::StreamOptions so;
+  so.num_threads = threads;
+  so.grain = (n + 1) / 2048;  // ~2k leaves: realistic event rate
+  runtime::StreamExecutor ex(nest, plan, so);
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::run_sequential(nest, ref);
+
+  bool identical = true;
+  auto time_run = [&] {
+    exec::ArrayStore store(nest);
+    store.fill_pattern();
+    auto t0 = std::chrono::steady_clock::now();
+    ex.run(store);
+    double secs = seconds_since(t0);
+    identical = identical && ref == store;
+    return secs;
+  };
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  rec.disable();
+  rec.clear();
+  time_run();  // warmup (kernel build, page faults)
+
+  double best_off = 1e30, best_on = 1e30;
+  std::size_t events = 0;
+  const int reps = 9;
+  for (int k = 0; k < reps; ++k) {
+    rec.disable();
+    best_off = std::min(best_off, time_run());
+    // Ring sized to the run's ~4k events: each rep's fresh worker thread
+    // registers (and zeroes) its buffer inside the timed region, so the
+    // 64Ki default would charge a 5 MB allocation to a ~90 ms run.
+    rec.enable(8192);
+    best_on = std::min(best_on, time_run());
+    events = rec.event_count();
+    rec.disable();
+    rec.clear();
+  }
+
+  const double overhead_pct =
+      best_off > 0 ? (best_on / best_off - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "{\"bench\":\"runtime_throughput\",\"name\":\"trace_overhead\","
+      "\"mode\":\"trace_overhead\",\"threads\":%zu,\"hw_threads\":%zu,"
+      "\"n\":%lld,\"seconds_trace_off\":%.6f,\"seconds_trace_on\":%.6f,"
+      "\"enabled_overhead_pct\":%.2f,\"events\":%zu,"
+      "\"bit_identical\":%s,\"gate_pct\":2.0}\n",
+      threads, hw_threads(), static_cast<long long>(n), best_off, best_on,
+      overhead_pct, events, identical ? "true" : "false");
+
+  int failures = 0;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: trace_overhead diverged from the sequential "
+                 "reference\n");
+    ++failures;
+  }
+  if (gate && overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: tracing-enabled run %.2f%% slower than disabled "
+                 "(gate 2%%)\n",
+                 overhead_pct);
+    ++failures;
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // `--gate`: run only the skewed-extent scenario with its >= 2x checks
-  // (CI bench-smoke leg). Otherwise an optional scale factor (default 1):
-  // ./bench_runtime_throughput 2
+  // (CI bench-smoke leg). `--trace-overhead-gate`: interleaved tracing
+  // on/off comparison with a <= 2% ceiling. Otherwise an optional scale
+  // factor (default 1): ./bench_runtime_throughput 2
   if (argc > 1 && std::strcmp(argv[1], "--gate") == 0)
     return run_skewed(/*gate=*/true) == 0 ? 0 : 1;
+  if (argc > 1 && std::strcmp(argv[1], "--trace-overhead-gate") == 0)
+    return run_trace_overhead(/*gate=*/true) == 0 ? 0 : 1;
   i64 scale = argc > 1 ? std::max(1L, std::atol(argv[1])) : 1;
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
 
@@ -279,9 +377,10 @@ int main(int argc, char** argv) {
       double str = run_streaming(c.name, nest, plan, threads, c.both_n);
       std::printf(
           "{\"bench\":\"runtime_throughput\",\"name\":\"%s\","
-          "\"mode\":\"comparison\",\"threads\":%zu,\"n\":%lld,"
+          "\"mode\":\"comparison\",\"threads\":%zu,\"hw_threads\":%zu,"
+          "\"n\":%lld,"
           "\"streaming_speedup\":%.3f}\n",
-          c.name, threads, static_cast<long long>(c.both_n),
+          c.name, threads, hw_threads(), static_cast<long long>(c.both_n),
           str > 0 ? mat / str : 0.0);
       if (threads == hw && hw == 1) break;  // avoid duplicate rows
     }
@@ -296,5 +395,6 @@ int main(int argc, char** argv) {
   }
 
   run_skewed(/*gate=*/false);
+  run_trace_overhead(/*gate=*/false);
   return 0;
 }

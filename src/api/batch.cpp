@@ -84,6 +84,8 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
         so.grain = policy.grain();
         so.split_dims = policy.split_dims();
         so.force_interpreter = policy.interpreter_only();
+        so.trace = policy.trace();
+        so.metrics = policy.metrics();
         group.executor = std::make_unique<runtime::StreamExecutor>(
             req.loop.nest(), req.loop.plan().transform, so);
         if (policy.backend() == ExecBackend::kJit) {
@@ -136,6 +138,10 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
       rep.steals = s.steals;
       rep.inner_splits = s.inner_splits;
       rep.wall_ns = s.done_ns;
+      rep.queue_ns = s.queue_ns;
+      // This request's in-flight time: completion minus the wait behind
+      // the rest of the batch.
+      rep.exec_ns = s.done_ns > s.queue_ns ? s.done_ns - s.queue_ns : 0;
       if (policy.digest()) rep.checksum = sources[k].store->checksum();
       rep.jit = kernels[k] != nullptr;
     }

@@ -1,12 +1,14 @@
 #include "api/compiled_loop.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "codegen/rewrite.h"
 #include "exec/array_store.h"
 #include "exec/interpreter.h"
+#include "obs/trace.h"
 #include "runtime/stream_executor.h"
 #include "support/error.h"
 
@@ -68,9 +70,14 @@ const std::string& PlanArtifact::codegen(const loopir::LoopNest& nest,
   eo.openmp = opts.openmp();
   eo.with_main = opts.with_main();
   eo.kernel_name = opts.kernel_name();
-  std::string c = opts.target() == CodegenTarget::kOriginal
-                      ? codegen::emit_c_original(nest, eo)
-                      : codegen::emit_c_transformed(nest, plan_.transform, eo);
+  std::string c;
+  {
+    obs::ScopedSpan span(obs::EventKind::kCodegen, /*layer_enabled=*/true,
+                         obs::Phase::kCodegen);
+    c = opts.target() == CodegenTarget::kOriginal
+            ? codegen::emit_c_original(nest, eo)
+            : codegen::emit_c_transformed(nest, plan_.transform, eo);
+  }
 
   std::lock_guard<std::mutex> lock(memo_mu_);
   return codegen_memo_.emplace(std::move(key), std::move(c)).first->second;
@@ -160,6 +167,10 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
                                                 vdep::ThreadPool* pool) const {
   return try_invoke([&]() -> ExecReport {
     ExecReport rep;
+    // Collects the phase breakdown from every instrumented site this call
+    // reaches (executor build, codegen, cc, the run itself) — including
+    // sites inside memoized artifacts, which correctly report ~0 on hits.
+    obs::PhaseScope phases;
     auto t0 = std::chrono::steady_clock::now();
     if (policy.mode() == ExecMode::kStreaming) {
       runtime::StreamOptions so;
@@ -168,7 +179,14 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       so.grain = policy.grain();
       so.split_dims = policy.split_dims();
       so.force_interpreter = policy.interpreter_only();
-      runtime::StreamExecutor ex(*nest_, art_->plan().transform, so);
+      so.trace = policy.trace();
+      so.metrics = policy.metrics();
+      std::optional<runtime::StreamExecutor> ex;
+      {
+        obs::ScopedSpan span(obs::EventKind::kExecutorBuild, policy.trace(),
+                             obs::Phase::kAnalyze);
+        ex.emplace(*nest_, art_->plan().transform, so);
+      }
 
       // Jit backend: run descriptor leaves through the memoized native
       // kernel; any jit failure (no toolchain, range proof, cc error)
@@ -180,18 +198,24 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
         if (k) native = *k;
       }
       runtime::RuntimeStats rs;
-      if (native) {
-        rs = pool ? ex.run(store, *native, *pool) : ex.run(store, *native);
-        rep.jit = true;
-      } else {
-        rs = pool ? ex.run(store, *pool) : ex.run(store);
+      {
+        obs::PhaseTimer run_timer(obs::Phase::kExec);
+        if (native) {
+          rs = pool ? ex->run(store, *native, *pool) : ex->run(store, *native);
+          rep.jit = true;
+        } else {
+          rs = pool ? ex->run(store, *pool) : ex->run(store);
+        }
       }
       rep.iterations = rs.total_iterations();
       rep.tasks = rs.total_tasks();
       rep.steals = rs.total_steals();
       rep.inner_splits = rs.total_inner_splits();
+      rep.failed_steals = rs.total_failed_steals();
+      rep.idle_ns = rs.total_idle_ns();
     } else {
       exec::RunStats rs;
+      obs::PhaseTimer run_timer(obs::Phase::kExec);
       if (pool) {
         rs = exec::run_parallel(*nest_, art_->plan().transform, store, *pool);
       } else {
@@ -204,6 +228,10 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       rep.iterations = rs.iterations;
       rep.tasks = rs.work_items;
     }
+    rep.analyze_ns = phases.ns(obs::Phase::kAnalyze);
+    rep.codegen_ns = phases.ns(obs::Phase::kCodegen);
+    rep.jit_compile_ns = phases.ns(obs::Phase::kJitCompile);
+    rep.exec_ns = phases.ns(obs::Phase::kExec);
     rep.wall_ns = elapsed_ns(t0);
     if (policy.digest()) rep.checksum = store.checksum();
     return rep;

@@ -103,6 +103,11 @@ class ExecPolicy {
   }
   /// Toolchain/flag options used when backend() == kJit.
   ExecPolicy& jit_options(jit::JitOptions o) { jit_ = std::move(o); return *this; }
+  /// Allow this execution to emit events into the global obs::TraceRecorder
+  /// when it is enabled (off: the run never touches the recorder).
+  ExecPolicy& trace(bool v) { trace_ = v; return *this; }
+  /// Same gate for the global obs::MetricsRegistry.
+  ExecPolicy& metrics(bool v) { metrics_ = v; return *this; }
 
   ExecMode mode() const { return mode_; }
   std::size_t threads() const { return threads_; }  ///< 0 = hardware
@@ -112,6 +117,8 @@ class ExecPolicy {
   bool interpreter_only() const { return backend_ == ExecBackend::kInterpreter; }
   const jit::JitOptions& jit_options() const { return jit_; }
   bool digest() const { return digest_; }
+  bool trace() const { return trace_; }
+  bool metrics() const { return metrics_; }
 
  private:
   ExecMode mode_ = ExecMode::kStreaming;
@@ -121,6 +128,8 @@ class ExecPolicy {
   ExecBackend backend_ = ExecBackend::kCompiled;
   jit::JitOptions jit_;
   bool digest_ = true;
+  bool trace_ = true;
+  bool metrics_ = true;
 };
 
 // -------------------------------------------------------------- artifacts
@@ -148,7 +157,20 @@ struct ExecReport {
   i64 tasks = 0;   ///< work items (materialized) or leaf descriptors (streaming)
   i64 steals = 0;  ///< streaming only
   i64 inner_splits = 0;  ///< descriptor splits along inner DOALL axes (streaming)
+  i64 failed_steals = 0; ///< empty full steal sweeps (streaming)
+  i64 idle_ns = 0;       ///< summed worker idle time (streaming)
   i64 wall_ns = 0;
+  /// Phase breakdown of wall_ns (obs::PhaseScope): executor construction
+  /// (rewrite + hull + kernel build), C emission, cc + dlopen, and the
+  /// workers' run. Phases absent from a call are 0; the sum can fall short
+  /// of wall_ns by unattributed glue (store digest, dispatch).
+  i64 analyze_ns = 0;
+  i64 codegen_ns = 0;
+  i64 jit_compile_ns = 0;
+  i64 exec_ns = 0;
+  /// Batch runs only: batch start -> this request's first descriptor
+  /// starts executing (time spent queued behind the rest of the batch).
+  i64 queue_ns = 0;
   i64 checksum = 0;      ///< final store digest
   bool verified = false; ///< true when produced by check()
   bool jit = false;      ///< true when a native kernel ran the bodies

@@ -4,10 +4,21 @@
 #include <thread>
 
 #include "dsl/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "trans/legality.h"
 
 namespace vdep {
+
+namespace {
+
+void count_compile(const char* name) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  obs::MetricsRegistry::instance().counter(name).inc();
+}
+
+}  // namespace
 
 Compiler::Compiler(CompileOptions opts)
     : opts_(opts),
@@ -19,19 +30,28 @@ std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
   // Cold path: the full pipeline. Everything below depends on the
   // structure only, so the artifact is valid for this fingerprint at any
   // bounds.
+  count_compile("vdep_compiles_total");
   LoopAnalysis analysis;
-  analysis.pdm = dep::compute_pdm(nest);
-  analysis.rank = analysis.pdm.rank();
-  analysis.all_uniform = analysis.pdm.all_uniform();
+  {
+    obs::ScopedSpan span(obs::EventKind::kAnalyze, opts_.trace(),
+                         obs::Phase::kAnalyze);
+    analysis.pdm = dep::compute_pdm(nest);
+    analysis.rank = analysis.pdm.rank();
+    analysis.all_uniform = analysis.pdm.all_uniform();
+  }
 
   LoopPlan plan;
-  plan.transform = trans::plan_transform(analysis.pdm);
-  plan.doall_loops = plan.transform.num_doall;
-  plan.partition_classes = plan.transform.partition_classes;
-  // The certificate is re-derived from Theorem 1, not trusted from plan
-  // construction: a cached plan is either certified or never exists.
-  plan.legal =
-      trans::is_legal_transform(analysis.pdm.matrix(), plan.transform.t);
+  {
+    obs::ScopedSpan span(obs::EventKind::kPlan, opts_.trace(),
+                         obs::Phase::kPlan);
+    plan.transform = trans::plan_transform(analysis.pdm);
+    plan.doall_loops = plan.transform.num_doall;
+    plan.partition_classes = plan.transform.partition_classes;
+    // The certificate is re-derived from Theorem 1, not trusted from plan
+    // construction: a cached plan is either certified or never exists.
+    plan.legal =
+        trans::is_legal_transform(analysis.pdm.matrix(), plan.transform.t);
+  }
   if (!plan.legal)
     throw InternalError(
         "plan_transform produced a transformation that fails the "
@@ -45,9 +65,22 @@ Expected<CompiledLoop> Compiler::compile(const loopir::LoopNest& nest) const {
   return try_invoke([&]() -> CompiledLoop {
     if (opts_.validate()) nest.validate();
 
-    Fingerprint fp = structural_fingerprint(nest);
-    if (std::shared_ptr<const PlanArtifact> art = cache_->find(fp))
+    Fingerprint fp;
+    {
+      obs::ScopedSpan span(obs::EventKind::kFingerprint, opts_.trace());
+      fp = structural_fingerprint(nest);
+    }
+    std::shared_ptr<const PlanArtifact> art;
+    {
+      obs::ScopedSpan span(obs::EventKind::kCacheProbe, opts_.trace());
+      art = cache_->find(fp);
+      span.set_arg(0, art ? 1 : 0);
+    }
+    if (art) {
+      count_compile("vdep_plan_cache_hits_total");
       return CompiledLoop(std::move(art), nest);
+    }
+    count_compile("vdep_plan_cache_misses_total");
     return CompiledLoop(analyze_and_insert(nest, std::move(fp)), nest);
   });
 }
@@ -103,8 +136,13 @@ ThreadPool& Compiler::pool() const {
 }
 
 Expected<CompiledLoop> Compiler::compile(const std::string& dsl_source) const {
-  return dsl::try_parse_loop_nest(dsl_source)
-      .and_then([&](const loopir::LoopNest& nest) { return compile(nest); });
+  Expected<loopir::LoopNest> nest = [&] {
+    obs::ScopedSpan span(obs::EventKind::kParse, opts_.trace(),
+                         obs::Phase::kParse);
+    return dsl::try_parse_loop_nest(dsl_source);
+  }();
+  return nest.and_then(
+      [&](const loopir::LoopNest& n) { return compile(n); });
 }
 
 }  // namespace vdep

@@ -1,6 +1,7 @@
 #include "codegen/rewrite.h"
 
 #include "intlin/det.h"
+#include "obs/trace.h"
 #include "poly/fourier_motzkin.h"
 #include "support/error.h"
 
@@ -22,9 +23,15 @@ TransformedNest rewrite_nest(const loopir::LoopNest& original, const Mat& t,
   Mat tinv = intlin::unimodular_inverse(t);
 
   // Bounds: transform the iteration polytope and re-extract loop bounds.
-  poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(original);
-  poly::ConstraintSystem ct = cs.transformed(t);
-  poly::NestBounds nb = poly::extract_bounds(ct);
+  // Trace-only span (Phase::kNone): callers time the whole rewrite under
+  // their own phase, so accounting FM here would double count.
+  poly::NestBounds nb;
+  {
+    obs::ScopedSpan fm_span(obs::EventKind::kFmBounds, /*layer_enabled=*/true);
+    poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(original);
+    poly::ConstraintSystem ct = cs.transformed(t);
+    nb = poly::extract_bounds(ct);
+  }
 
   std::vector<loopir::Level> levels;
   for (int k = 0; k < n; ++k) {

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "codegen/emit_c.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -121,18 +123,22 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile(
     const loopir::LoopNest& original, const trans::TransformPlan& plan) const {
   // The emitted kernel indexes raw buffers unchecked; refuse nests whose
   // subscripts the box proof cannot certify (they interpret instead).
-  try {
-    exec::prove_subscript_ranges(original);
-  } catch (const Error& e) {
-    return ApiError{ErrorKind::kUnsupported,
-                    std::string("jit: range proof failed: ") + e.what()};
-  }
   std::string source;
-  try {
-    source = codegen::emit_c_range_kernel(original, plan, kEntryName);
-  } catch (const Error& e) {
-    return ApiError{ErrorKind::kUnsupported,
-                    std::string("jit: emission failed: ") + e.what()};
+  {
+    obs::ScopedSpan emit_span(obs::EventKind::kCodegen, /*layer_enabled=*/true,
+                              obs::Phase::kCodegen);
+    try {
+      exec::prove_subscript_ranges(original);
+    } catch (const Error& e) {
+      return ApiError{ErrorKind::kUnsupported,
+                      std::string("jit: range proof failed: ") + e.what()};
+    }
+    try {
+      source = codegen::emit_c_range_kernel(original, plan, kEntryName);
+    } catch (const Error& e) {
+      return ApiError{ErrorKind::kUnsupported,
+                      std::string("jit: emission failed: ") + e.what()};
+    }
   }
   std::vector<std::string> order;
   for (const loopir::ArrayDecl& a : original.arrays()) order.push_back(a.name);
@@ -180,7 +186,16 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
   if (!opts_.extra_flags.empty()) cmd += " " + opts_.extra_flags;
   cmd += " 2> " + shell_quote(log_path.string());
 
-  int rc = std::system(cmd.c_str());
+  int rc;
+  {
+    obs::ScopedSpan cc_span(obs::EventKind::kCcSubprocess,
+                            /*layer_enabled=*/true, obs::Phase::kJitCompile);
+    rc = std::system(cmd.c_str());
+  }
+  if (obs::MetricsRegistry::enabled())
+    obs::MetricsRegistry::instance()
+        .counter("vdep_jit_builds_total", "toolchain cc invocations")
+        .inc();
   bool ok = rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
   if (!ok) {
     std::string log = read_file(log_path, 2000);
@@ -190,6 +205,8 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
                     "jit: toolchain '" + *cc_ + "' failed: " + log};
   }
 
+  obs::ScopedSpan dlopen_span(obs::EventKind::kDlopen, /*layer_enabled=*/true,
+                              obs::Phase::kJitCompile);
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!handle) {
     const char* err = dlerror();

@@ -1,0 +1,29 @@
+#include "obs/phase.h"
+
+#include <chrono>
+
+namespace vdep::obs {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+thread_local PhaseScope* tl_scope = nullptr;
+}  // namespace
+
+PhaseScope::PhaseScope() : prev_(tl_scope) { tl_scope = this; }
+
+PhaseScope::~PhaseScope() { tl_scope = prev_; }
+
+bool PhaseScope::active() { return tl_scope != nullptr; }
+
+void PhaseScope::add(Phase p, i64 ns) {
+  PhaseScope* s = tl_scope;
+  if (s == nullptr || p == Phase::kNone) return;
+  s->acc_[static_cast<int>(p)] += ns;
+}
+
+}  // namespace vdep::obs

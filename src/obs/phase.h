@@ -1,0 +1,76 @@
+// Per-thread phase timing: the `ExecReport` breakdown collector.
+//
+// An execute()/check() call opens a PhaseScope on its thread; instrumented
+// sites anywhere down the synchronous call chain (executor construction,
+// JIT emission, the cc subprocess, the run itself) add their elapsed time
+// to the innermost open scope of the *same* thread via PhaseScope::add.
+// When no scope is open — benches driving StreamExecutor directly, batch
+// group setup — add() is a no-op, so the instrumentation sites never need
+// to know who (if anyone) is collecting.
+//
+// Cost: a thread_local pointer read per add(); PhaseTimer reads the clock
+// only while a scope is open. No allocation, no synchronization (scopes
+// are strictly thread-private).
+#pragma once
+
+#include <cstdint>
+
+namespace vdep::obs {
+
+using i64 = std::int64_t;
+
+/// Pipeline phases of one request, compile side to run side. kNone means
+/// "trace only, never accounted" (used by spans nested inside an already
+/// accounted phase, so nothing is double counted).
+enum class Phase : std::uint8_t {
+  kNone = 0,
+  kParse,
+  kAnalyze,     ///< PDM / plan work + per-execute rewrite/FM/hull
+  kPlan,
+  kCodegen,     ///< C emission (range-kernel TU or codegen() text)
+  kJitCompile,  ///< cc subprocess + dlopen
+  kExec,        ///< workers executing descriptors
+};
+inline constexpr int kNumPhases = 7;
+
+/// Steady-clock nanoseconds (shared by tracing and phase timing).
+i64 now_ns();
+
+class PhaseScope {
+ public:
+  PhaseScope();
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// Nanoseconds accumulated for `p` since this scope opened.
+  i64 ns(Phase p) const { return acc_[static_cast<int>(p)]; }
+
+  /// Whether the calling thread has an open scope.
+  static bool active();
+  /// Adds `ns` to phase `p` of the calling thread's innermost open scope;
+  /// no-op when none is open (or p == kNone).
+  static void add(Phase p, i64 ns);
+
+ private:
+  i64 acc_[kNumPhases] = {};
+  PhaseScope* prev_ = nullptr;
+};
+
+/// RAII: adds the scoped duration to one phase of the open PhaseScope.
+/// Reads the clock only when a scope is actually open at construction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase p) : p_(p), t0_(PhaseScope::active() ? now_ns() : 0) {}
+  ~PhaseTimer() {
+    if (t0_ != 0) PhaseScope::add(p_, now_ns() - t0_);
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Phase p_;
+  i64 t0_;
+};
+
+}  // namespace vdep::obs

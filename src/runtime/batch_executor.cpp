@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/work_queue.h"
 #include "support/error.h"
 
@@ -100,6 +102,23 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
   i64 first_error_source = -1;
   std::mutex error_mutex;
 
+  // Queue latency: batch start -> a source's first descriptor starts
+  // executing. Stamped once by whichever worker gets there first.
+  std::vector<std::atomic<i64>> first_start(ns);
+
+  // Observability gates (see stream_executor.cpp drive()); per-worker idle
+  // accounting lives in its own block because idle time belongs to no
+  // source.
+  const bool tracing = obs::TraceRecorder::enabled();
+  const bool metrics = obs::MetricsRegistry::enabled();
+  obs::Histogram* steal_lat = nullptr;
+  if (metrics) {
+    steal_lat = &obs::MetricsRegistry::instance().histogram(
+        "vdep_steal_latency_ns", obs::exp_buckets(1000, 4.0, 12),
+        "idle-episode length ending in a successful steal");
+  }
+  std::vector<WorkerStats> idle_acc(threads);
+
   const i64 t0 = now_ns();
   const int n = static_cast<int>(threads);
   auto worker_main = [&](int id) {
@@ -112,6 +131,12 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
       const StreamExecutor& ex = *sources[static_cast<std::size_t>(s)].executor;
       WorkerStats& stats = stats_of(id, s);
       i64 t_start = now_ns();
+      if (first_start[static_cast<std::size_t>(s)].load(
+              std::memory_order_relaxed) == 0) {
+        i64 expect = 0;
+        first_start[static_cast<std::size_t>(s)].compare_exchange_strong(
+            expect, std::max<i64>(1, t_start - t0), std::memory_order_relaxed);
+      }
       try {
         while (can_split(task, ex.grain())) {
           int axis = 0;
@@ -121,6 +146,17 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
           deques[static_cast<std::size_t>(id)]->push(high);
           ++stats.splits;
           ++stats.axis_splits[axis];
+          if (tracing) {
+            obs::TraceEvent ev;
+            ev.start_ns = obs::now_ns();
+            ev.kind = obs::EventKind::kSplit;
+            ev.worker = id;
+            ev.args[0] = axis;
+            ev.args[1] = task.cells();
+            ev.args[2] = deques[static_cast<std::size_t>(id)]->size_estimate();
+            ev.args[3] = s;
+            obs::TraceRecorder::record(ev);
+          }
         }
         StreamExecutor::LeafFn& leaf = leaves[static_cast<std::size_t>(s)];
         if (!leaf) leaf = factories[static_cast<std::size_t>(s)](id, stats);
@@ -140,10 +176,45 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
         done_ns[static_cast<std::size_t>(s)] = now_ns() - t0;
         live_sources.fetch_sub(1, std::memory_order_acq_rel);
       }
-      stats.busy_ns += now_ns() - t_start;
+      const i64 t_end = now_ns();
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.start_ns = t_start;
+        ev.dur_ns = t_end - t_start;
+        ev.kind = obs::EventKind::kLeafExec;
+        ev.worker = id;
+        ev.args[0] = task.cells();
+        ev.args[1] = s;
+        ev.args[2] = task.ndims > 0 ? task.lo[0] : 0;
+        ev.args[3] = task.ndims > 0 ? task.hi[0] : 0;
+        ev.args[4] = task.class_lo;
+        ev.args[5] = task.class_hi;
+        obs::TraceRecorder::record(ev);
+      }
+      stats.busy_ns += t_end - t_start;
     };
 
+    WorkerStats& idle_stats = idle_acc[static_cast<std::size_t>(id)];
     int idle_sweeps = 0;
+    i64 idle_t0 = 0;
+    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1) {
+      if (idle_t0 == 0) return;
+      const i64 t1 = now_ns();
+      idle_stats.idle_ns += t1 - idle_t0;
+      if (kind == obs::EventKind::kSteal && metrics)
+        steal_lat->observe(t1 - idle_t0);
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.start_ns = idle_t0;
+        ev.dur_ns = t1 - idle_t0;
+        ev.kind = kind;
+        ev.worker = id;
+        ev.args[0] = a0;
+        ev.args[1] = a1;
+        obs::TraceRecorder::record(ev);
+      }
+      idle_t0 = 0;
+    };
     for (;;) {
       if (abort.load(std::memory_order_acquire)) return;
       TaskDescriptor task;
@@ -152,23 +223,33 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
         idle_sweeps = 0;
         continue;
       }
-      if (live_sources.load(std::memory_order_acquire) == 0) return;
+      if (idle_t0 == 0) idle_t0 = now_ns();
+      if (live_sources.load(std::memory_order_acquire) == 0) {
+        close_idle(obs::EventKind::kIdle, 0, 0);
+        return;
+      }
       bool stolen = false;
+      int victim_id = -1;
       for (int k = 1; k < n && !stolen; ++k) {
         std::size_t victim = static_cast<std::size_t>((id + k) % n);
         if (deques[victim]->steal(task)) {
           ++stats_of(id, task.source).steals;
+          victim_id = static_cast<int>(victim);
           stolen = true;
         }
       }
       if (stolen) {
+        close_idle(obs::EventKind::kSteal, victim_id, task.source);
         process(task);
         idle_sweeps = 0;
-      } else if (++idle_sweeps < 16) {
-        std::this_thread::yield();
       } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            std::min(50 * (idle_sweeps - 15), 1000)));
+        if (n > 1) ++idle_stats.failed_steals;
+        if (++idle_sweeps < 16) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              std::min(50 * (idle_sweeps - 15), 1000)));
+        }
       }
     }
   };
@@ -197,9 +278,14 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
       agg.steals += w.steals;
     }
     agg.done_ns = done_ns[s];
+    agg.queue_ns = first_start[s].load(std::memory_order_relaxed);
   }
   out.error = first_error;
   out.error_source = first_error_source;
+  if (metrics) {
+    publish_run_metrics(ws);
+    publish_run_metrics(idle_acc);
+  }
   return out;
 }
 

@@ -53,6 +53,9 @@ struct SourceStats {
   i64 inner_splits = 0;  ///< splits along inner DOALL axes (task.h)
   i64 steals = 0;  ///< stolen descriptors of this source
   i64 done_ns = 0; ///< batch start -> this source's last descriptor retired
+  /// Queue latency: batch start -> first descriptor of this source starts
+  /// executing (how long the request waited behind the rest of the batch).
+  i64 queue_ns = 0;
 };
 
 /// Aggregate outcome of a batch run.

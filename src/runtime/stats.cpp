@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace vdep::runtime {
 
 i64 RuntimeStats::total_tasks() const {
@@ -47,21 +49,72 @@ i64 RuntimeStats::max_busy_ns() const {
   return m;
 }
 
+i64 RuntimeStats::total_idle_ns() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.idle_ns;
+  return n;
+}
+
+i64 RuntimeStats::total_failed_steals() const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.failed_steals;
+  return n;
+}
+
 std::string RuntimeStats::to_string() const {
   std::ostringstream os;
-  os << "worker  tasks  splits  steals  iterations  busy_ms\n";
+  os << "worker  tasks  splits  steals  failed_steals  iterations  busy_ms  "
+        "idle_ms\n";
   for (std::size_t k = 0; k < workers.size(); ++k) {
     const WorkerStats& w = workers[k];
     os << k << "  " << w.tasks << "  " << w.splits << "  " << w.steals << "  "
-       << w.iterations << "  " << w.busy_ns / 1000000.0 << "\n";
+       << w.failed_steals << "  " << w.iterations << "  "
+       << w.busy_ns / 1000000.0 << "  " << w.idle_ns / 1000000.0 << "\n";
   }
   os << "total  " << total_tasks() << "  " << total_splits() << "  "
-     << total_steals() << "  " << total_iterations() << "  wall_ms "
-     << wall_ns / 1000000.0 << "\n";
+     << total_steals() << "  " << total_failed_steals() << "  "
+     << total_iterations() << "  wall_ms " << wall_ns / 1000000.0 << "\n";
   os << "splits by axis: outer " << total_axis_splits(0) << ", inner "
      << total_inner_splits() << ", classes "
      << total_axis_splits(TaskDescriptor::kClassAxis) << "\n";
+  const i64 attempts = total_steals() + total_failed_steals();
+  os << "steal success rate: ";
+  if (attempts == 0)
+    os << "n/a (no contested sweeps)";
+  else
+    os << 100.0 * static_cast<double>(total_steals()) /
+              static_cast<double>(attempts)
+       << "% (" << total_steals() << "/" << attempts << " sweeps)";
+  os << "\n";
   return os.str();
+}
+
+void publish_run_metrics(const std::vector<WorkerStats>& workers) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& busy =
+      reg.counter("vdep_worker_busy_ns", "wall ns inside descriptor execution");
+  static obs::Counter& idle =
+      reg.counter("vdep_worker_idle_ns", "wall ns with no runnable descriptor");
+  static obs::Counter& tasks =
+      reg.counter("vdep_tasks_total", "leaf descriptors executed");
+  static obs::Counter& splits =
+      reg.counter("vdep_splits_total", "descriptor splits");
+  static obs::Counter& steals =
+      reg.counter("vdep_steals_total", "successful steals");
+  static obs::Counter& failed =
+      reg.counter("vdep_failed_steals_total", "empty full steal sweeps");
+  static obs::Counter& iters =
+      reg.counter("vdep_iterations_total", "loop-body iterations executed");
+  for (const WorkerStats& w : workers) {
+    busy.inc(w.busy_ns);
+    idle.inc(w.idle_ns);
+    tasks.inc(w.tasks);
+    splits.inc(w.splits);
+    steals.inc(w.steals);
+    failed.inc(w.failed_steals);
+    iters.inc(w.iterations);
+  }
 }
 
 }  // namespace vdep::runtime

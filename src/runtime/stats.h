@@ -25,6 +25,9 @@ struct alignas(64) WorkerStats {
   i64 steals = 0;      ///< successful steals from another worker's deque
   i64 iterations = 0;  ///< loop-body iterations executed
   i64 busy_ns = 0;     ///< wall time spent inside descriptor execution
+  i64 idle_ns = 0;     ///< wall time spent with no runnable descriptor
+  /// Full steal sweeps (every other deque probed) that came back empty.
+  i64 failed_steals = 0;
   /// Splits by chosen axis: slots 0..kMaxDims-1 are the boxed DOALL-prefix
   /// dimensions (outermost first), slot kClassAxis the class range. Their
   /// sum equals `splits`.
@@ -47,9 +50,16 @@ struct RuntimeStats {
   i64 total_inner_splits() const;
   /// Max over workers of busy_ns — the critical-path estimate.
   i64 max_busy_ns() const;
+  i64 total_idle_ns() const;
+  i64 total_failed_steals() const;
 
   /// Multi-line human-readable table (one row per worker + totals).
   std::string to_string() const;
 };
+
+/// Publishes one run's aggregated per-worker counters into the global
+/// obs::MetricsRegistry (vdep_worker_busy_ns, vdep_worker_idle_ns,
+/// vdep_tasks_total, ...). No-op when the registry is disabled.
+void publish_run_metrics(const std::vector<WorkerStats>& workers);
 
 }  // namespace vdep::runtime

@@ -51,6 +51,13 @@ struct StreamOptions {
   int split_dims = 0;
   /// Skip the compiled kernel and always interpret (tests / debugging).
   bool force_interpreter = false;
+  /// Allow this run to emit trace events when the global obs::TraceRecorder
+  /// is enabled (leaf spans, split/steal/idle events). Off, the run never
+  /// touches the recorder regardless of its state.
+  bool trace = true;
+  /// Same gate for the global obs::MetricsRegistry (histograms during the
+  /// run + per-worker counters at the end).
+  bool metrics = true;
 };
 
 class StreamExecutor {
@@ -119,6 +126,7 @@ class StreamExecutor {
   i64 grain() const { return grain_; }
   i64 num_classes() const { return classes_; }
   std::size_t num_threads() const { return threads_; }
+  const StreamOptions& options() const { return opts_; }
 
  private:
   struct Worker;

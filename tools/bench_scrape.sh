@@ -12,6 +12,20 @@ out=${2:-BENCH_runtime.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
+# First row: host metadata, so every committed BENCH_runtime.json records
+# where its numbers came from. Best-effort fields degrade to "unknown"
+# (e.g. no git in a tarball checkout) rather than failing the scrape.
+cxx=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+      "$build_dir"/CMakeCache.txt 2>/dev/null | head -n1)
+cxx_id=$("${cxx:-c++}" --version 2>/dev/null | head -n1 || echo unknown)
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+             "$build_dir"/CMakeCache.txt 2>/dev/null | head -n1)
+git_sha=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null \
+          || echo unknown)
+hw=$(nproc 2>/dev/null || echo 0)
+printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_threads":%s}\n' \
+  "${cxx_id//\"/\\\"}" "${build_type:-unknown}" "$git_sha" "$hw" >> "$tmp"
+
 "$build_dir"/bench_runtime_throughput | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_plan_cache | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_jit_speedup | tee /dev/stderr >> "$tmp"
