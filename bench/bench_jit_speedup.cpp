@@ -15,6 +15,14 @@
 // `--gate` exits non-zero unless every suite kernel actually ran natively
 // (no silent fallback) with a bit-identical checksum and the geomean
 // JIT-vs-interpreter speedup is >= 2.0 — the acceptance bar of the JIT PR.
+//
+// `--partition-gate` instead compares the verified steady-state partitioned
+// kernel (-O3 -march=native, clamp-free steady region) against the clamped
+// JIT baseline (-O2) over steady-state-shaped nests plus the partitioning
+// suite kernels: geomean >= 1.3, every partitioned run must actually take
+// the partitioned fast path, and every checksum must be bit-identical to
+// the clamped run. Hosts without a vector ISA (no AVX2 on x86, non-NEON)
+// emit a skip line and exit 0 — the comparison is meaningless there.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +34,7 @@
 
 #include "api/vdep.h"
 #include "core/suite.h"
+#include "loopir/builder.h"
 
 using namespace vdep;
 using intlin::i64;
@@ -104,12 +113,175 @@ double throughput(const Sample& s) {
   return s.seconds > 0 ? static_cast<double>(s.iterations) / s.seconds : 0.0;
 }
 
+// ---------------------------------------------------------- partition gate
+
+// The partitioned kernel's steady-region advantage is vectorization of the
+// constant-trip inner loops; without a vector ISA the -O3/-march=native vs
+// -O2 comparison measures nothing the pass controls.
+bool vector_isa_available() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#elif defined(__aarch64__)
+  return true;  // NEON is baseline on AArch64
+#else
+  return false;
+#endif
+}
+
+// Ramp nest — the steady-state motif: i in [0,n], j in [0, min(w, i)].
+// Dependence-free, so both levels are DOALL; the partition pass proves the
+// steady sub-range i in [w, n] where the j clamp is the identity and the
+// inner loop runs a constant w+1 trips.
+loopir::LoopNest ramp_nest(i64 n, i64 w) {
+  loopir::LoopNestBuilder b;
+  b.loop("i", 0, n);
+  loopir::Bound up = loopir::Bound::constant(2, w);
+  up.add_term({loopir::AffineExpr(intlin::Vec{1, 0}, 0), 1});
+  b.loop("j", loopir::Bound(loopir::AffineExpr::constant(2, 0)), up);
+  b.array("A", {{0, n}, {0, w}});
+  b.array("B", {{0, n}, {0, w}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           loopir::Expr::add(
+               b.read("A", {b.idx(0), b.idx(1)}),
+               loopir::Expr::mul(b.read("B", {b.idx(0), b.idx(1)}),
+                                 loopir::Expr::constant(3))));
+  return b.build();
+}
+
+Sample run_jit(const CompiledLoop& loop, const jit::JitOptions& jo,
+               std::size_t threads, double min_seconds, int max_reps,
+               bool* partitioned) {
+  Sample s;
+  exec::ArrayStore base(loop.nest());
+  base.fill_pattern();
+  *partitioned = false;
+  for (int rep = -1; rep < max_reps && s.seconds < min_seconds; ++rep) {
+    exec::ArrayStore store = base;
+    ExecPolicy policy;
+    policy.threads(threads).backend(ExecBackend::kJit).jit_options(jo);
+    Expected<ExecReport> r = loop.execute(policy, store);
+    if (!r) {
+      s.error = r.error().to_string();
+      return s;
+    }
+    s.jit = r->jit;
+    *partitioned = r->jit_partitioned;
+    if (rep < 0) continue;  // warmup rep pays the toolchain, untimed
+    s.iterations += r->iterations;
+    s.seconds += static_cast<double>(r->wall_ns) * 1e-9;
+    s.checksum = r->checksum;
+  }
+  s.ok = true;
+  return s;
+}
+
+int partition_gate_main(bool gate) {
+  const std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  if (!vector_isa_available()) {
+    std::printf(
+        "{\"bench\":\"jit_speedup\",\"mode\":\"partition_gate\","
+        "\"name\":\"ALL\",\"hw_threads\":%zu,\"skipped\":true,"
+        "\"reason\":\"no vector ISA (AVX2/NEON) on this host\"}\n",
+        hw_threads());
+    return 0;
+  }
+
+  // Steady-state ramps across inner widths (vector-register to L1-sized
+  // rows) plus every suite kernel whose plan partitions. Sizes aim at a few
+  // million iterations per run so a single rep is already measurable.
+  struct GateNest {
+    std::string name;
+    loopir::LoopNest nest;
+  };
+  std::vector<GateNest> cases;
+  for (auto [w, n] : std::vector<std::pair<i64, i64>>{
+           {16, 350000}, {32, 180000}, {64, 90000}, {128, 46000}})
+    cases.push_back({"ramp_w" + std::to_string(w), ramp_nest(n, w)});
+  const std::map<std::string, i64> suite_sizes = {{"matmul_reduction", 120},
+                                                  {"example_4_1", 1200}};
+  for (const auto& [name, n] : suite_sizes)
+    for (core::NamedNest& c : core::paper_suite(n))
+      if (c.name == name) cases.push_back({name, c.nest});
+
+  Compiler compiler;
+  double log_sum = 0;
+  int kernels = 0, fallbacks = 0, mismatches = 0;
+  for (const GateNest& c : cases) {
+    Expected<CompiledLoop> loop = compiler.compile(c.nest);
+    if (!loop) {
+      std::printf(
+          "{\"bench\":\"jit_speedup\",\"mode\":\"partition_gate\","
+          "\"name\":\"%s\",\"hw_threads\":%zu,\"error\":\"%s\"}\n",
+          c.name.c_str(), hw_threads(), loop.error().to_string().c_str());
+      ++fallbacks;
+      continue;
+    }
+    jit::JitOptions clamped_opts;
+    clamped_opts.partition = false;
+    jit::JitOptions part_opts;
+    part_opts.native_arch = true;
+    bool clamped_part = false, part_part = false;
+    Sample clamped = run_jit(*loop, clamped_opts, threads, 0.1, 20,
+                             &clamped_part);
+    Sample part = run_jit(*loop, part_opts, threads, 0.1, 20, &part_part);
+    if (!clamped.ok || !part.ok) {
+      std::printf(
+          "{\"bench\":\"jit_speedup\",\"mode\":\"partition_gate\","
+          "\"name\":\"%s\",\"hw_threads\":%zu,\"error\":\"%s\"}\n",
+          c.name.c_str(), hw_threads(),
+          (!clamped.ok ? clamped : part).error.c_str());
+      ++fallbacks;
+      continue;
+    }
+
+    bool identical = clamped.checksum == part.checksum;
+    bool native = clamped.jit && part.jit && part_part && !clamped_part;
+    double speedup = throughput(part) / throughput(clamped);
+    std::printf(
+        "{\"bench\":\"jit_speedup\",\"mode\":\"partition_gate\","
+        "\"name\":\"%s\",\"hw_threads\":%zu,\"threads\":%zu,"
+        "\"iterations\":%lld,\"clamped_seconds\":%.6f,"
+        "\"partitioned_seconds\":%.6f,\"partitioned_vs_clamped\":%.3f,"
+        "\"partitioned\":%s,\"checksum_identical\":%s}\n",
+        c.name.c_str(), hw_threads(), threads,
+        static_cast<long long>(part.iterations), clamped.seconds, part.seconds,
+        speedup, native ? "true" : "false", identical ? "true" : "false");
+
+    ++kernels;
+    if (!native) ++fallbacks;
+    if (!identical) ++mismatches;
+    log_sum += std::log(speedup);
+  }
+
+  double geomean = kernels ? std::exp(log_sum / kernels) : 0.0;
+  std::printf(
+      "{\"bench\":\"jit_speedup\",\"mode\":\"partition_gate\","
+      "\"name\":\"ALL\",\"hw_threads\":%zu,\"kernels\":%d,\"threads\":%zu,"
+      "\"partitioned_vs_clamped_geomean\":%.2f,\"fallbacks\":%d,"
+      "\"checksum_mismatches\":%d,\"gate\":1.3}\n",
+      hw_threads(), kernels, threads, geomean, fallbacks, mismatches);
+
+  if (gate && (kernels == 0 || fallbacks > 0 || mismatches > 0 ||
+               geomean < 1.3)) {
+    std::fprintf(stderr,
+                 "partition gate FAILED: kernels=%d fallbacks=%d "
+                 "mismatches=%d geomean=%.2f (need >= 1.3)\n",
+                 kernels, fallbacks, mismatches, geomean);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool gate = false;
-  for (int k = 1; k < argc; ++k)
+  bool partition_gate = false;
+  for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[k], "--partition-gate") == 0) partition_gate = true;
+  }
+  if (partition_gate) return partition_gate_main(/*gate=*/true);
 
   const std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   // Per-kernel sizes: big enough for a measurable single run, small enough

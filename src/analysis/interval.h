@@ -1,0 +1,129 @@
+// Interval analysis over the affine transformed loop bounds.
+//
+// An Interval is a closed integer range [lo, hi] (empty when lo > hi); the
+// IntervalEnv assigns one to each loop level of a (transformed) nest,
+// outermost-in: a level's bounds only reference enclosing levels, so
+// interval arithmetic over the already-computed hulls bounds every term,
+// and max-of-term-mins (dually min-of-term-maxes) gives a sound
+// rectangular hull of the iteration space's projection — a superset of the
+// true projection, exact for the common rectangular case, and a *point*
+// exactly when the bound provably evaluates to one value over every
+// enclosed sub-box. That last property is what the steady-state loop
+// partition (analysis/loop_partition.h) keys on, and the hull itself is
+// what the streaming runtime boxes descriptors over (it used to carry a
+// private copy of this arithmetic; runtime::StreamExecutor now delegates
+// here).
+//
+// All arithmetic is overflow-checked (support/checked.h): a nest whose
+// bounds would overflow the analysis throws OverflowError, which callers
+// (the partition pass, the verifier) turn into a conservative "don't
+// specialize" answer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loopir/nest.h"
+#include "support/checked.h"
+
+namespace vdep::analysis {
+
+using intlin::i64;
+
+/// A closed integer interval [lo, hi]; lo > hi encodes the empty interval
+/// (canonically {0, -1}).
+struct Interval {
+  i64 lo = 0;
+  i64 hi = -1;
+
+  static Interval empty() { return {0, -1}; }
+  static Interval point(i64 v) { return {v, v}; }
+  static Interval of(i64 lo, i64 hi) { return {lo, hi}; }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_point() const { return lo == hi; }
+  /// Number of integers covered (0 when empty); overflow-checked.
+  i64 extent() const { return is_empty() ? 0 : checked::add(checked::sub(hi, lo), 1); }
+
+  bool contains(i64 v) const { return lo <= v && v <= hi; }
+  bool contains(const Interval& o) const {
+    return o.is_empty() || (lo <= o.lo && o.hi <= hi);
+  }
+
+  /// Minkowski sum; empty absorbs.
+  Interval operator+(const Interval& o) const;
+  /// {c*v : v in this}; scaling by a negative c swaps the endpoints.
+  Interval scaled(i64 c) const;
+  Interval plus(i64 c) const;
+  /// Endpoint-wise ceil(v/den) (den > 0). Lower-bound term rounding.
+  Interval ceil_div(i64 den) const;
+  /// Endpoint-wise floor(v/den) (den > 0). Upper-bound term rounding.
+  Interval floor_div(i64 den) const;
+
+  /// Smallest interval containing both (the lattice join).
+  Interval hull(const Interval& o) const;
+  Interval intersect(const Interval& o) const;
+
+  bool operator==(const Interval& o) const = default;
+  std::string to_string() const;
+};
+
+/// Per-level interval hulls of the leading `levels` dimensions of a nest.
+class IntervalEnv {
+ public:
+  /// Builds the hulls of levels [0, levels) of `nest`, outermost-in. If
+  /// any level's hull comes out empty the whole space is empty and every
+  /// level is assigned the canonical empty interval. Throws OverflowError
+  /// when the interval arithmetic leaves int64.
+  static IntervalEnv from_nest(const loopir::LoopNest& nest, int levels);
+
+  /// As from_nest, but the leading prefix.size() levels take the given
+  /// hulls verbatim (e.g. a descriptor box slice, or one region of a
+  /// steady-state partition) and only the deeper levels are derived from
+  /// the nest's bounds. An empty interval anywhere in the prefix marks the
+  /// whole space empty. The kernel verifier uses this to bound subscripts
+  /// and trailing bounds region-by-region.
+  static IntervalEnv from_nest_with_prefix(const loopir::LoopNest& nest,
+                                           int levels,
+                                           std::vector<Interval> prefix);
+
+  /// An env over explicitly given hulls (no nest; eval/bound_interval
+  /// only). Any empty hull marks the whole space empty.
+  static IntervalEnv from_hulls(std::vector<Interval> hulls);
+
+  int levels() const { return static_cast<int>(hulls_.size()); }
+  bool empty_space() const { return empty_; }
+  const Interval& level_hull(int k) const;
+  const std::vector<Interval>& hulls() const { return hulls_; }
+
+  /// Interval of an affine expression over the hulls of levels [0, upto).
+  /// Coefficients at or beyond `upto` must be zero (the expression must
+  /// only reference enclosing levels); throws PreconditionError otherwise.
+  Interval eval(const loopir::AffineExpr& e, int upto) const;
+
+  /// Interval of one bound term over levels [0, upto): the numerator's
+  /// interval divided by den with lower-bound (ceil) or upper-bound
+  /// (floor) rounding.
+  Interval term_interval(const loopir::BoundTerm& t, bool lower,
+                         int upto) const;
+
+  /// Interval of a whole bound over levels [0, upto): for a lower bound
+  /// the max over terms (endpoint-wise max of term intervals), for an
+  /// upper bound the min.
+  Interval bound_interval(const loopir::Bound& b, bool lower, int upto) const;
+
+  /// True when the bound provably evaluates to a single value over every
+  /// sub-box of the hull — its interval over levels [0, k) is a point.
+  /// Constant bounds qualify trivially; bounds referencing only
+  /// point-hulled levels (e.g. a degenerate extent-1 axis) qualify too,
+  /// which is where interval analysis beats a syntactic constancy test.
+  bool is_static(const loopir::Bound& b, bool lower, int k) const {
+    return empty_ || bound_interval(b, lower, k).is_point();
+  }
+
+ private:
+  std::vector<Interval> hulls_;
+  bool empty_ = false;
+};
+
+}  // namespace vdep::analysis

@@ -1,0 +1,350 @@
+#include "analysis/kernel_verifier.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::analysis {
+
+namespace {
+
+// ---- steady-range solving (the C++ twin of the emitted S computation) --
+
+struct SteadyRange {
+  i64 s_lo = 0;
+  i64 s_hi = -1;  // empty by default
+};
+
+/// Solves the steady sub-range of the partition axis for one effective box
+/// (already clamped to the hull), with the same normalization the emitted
+/// kernel applies: candidates shrink [blo_P, bhi_P]; failed guards or an
+/// inverted range collapse to the canonical empty pair {bhi_P+1, bhi_P}.
+/// All arithmetic checked; throws OverflowError like the rest of analysis.
+SteadyRange solve_steady(const LoopPartition& part,
+                         const std::vector<Interval>& box) {
+  const int P = part.axis;
+  SteadyRange s;
+  s.s_lo = box[static_cast<std::size_t>(P)].lo;
+  s.s_hi = box[static_cast<std::size_t>(P)].hi;
+  bool guard_failed = false;
+  for (const ClipConstraint& c : part.constraints) {
+    const loopir::AffineExpr& num = c.term.num;
+    const Interval& lvl = box[static_cast<std::size_t>(c.level)];
+    i64 k = checked::sub(checked::mul(c.term.den, c.lower ? lvl.lo : lvl.hi),
+                         num.constant_term());
+    for (int m = 0; m < c.level; ++m) {
+      if (m == P) continue;
+      i64 cm = num.coeff(m);
+      if (cm == 0) continue;
+      const Interval& b = box[static_cast<std::size_t>(m)];
+      bool worst_hi = c.lower ? (cm > 0) : (cm < 0);
+      k = checked::sub(k, checked::mul(cm, worst_hi ? b.hi : b.lo));
+    }
+    if (c.coeff_axis == 0) {
+      if (c.lower ? (k < 0) : (k > 0)) guard_failed = true;
+    } else if ((c.coeff_axis > 0) == c.lower) {
+      s.s_hi = std::min(s.s_hi, checked::floor_div(k, c.coeff_axis));
+    } else {
+      s.s_lo = std::max(s.s_lo, checked::ceil_div(k, c.coeff_axis));
+    }
+  }
+  if (guard_failed || s.s_lo > s.s_hi) {
+    s.s_lo = checked::add(box[static_cast<std::size_t>(P)].hi, 1);
+    s.s_hi = box[static_cast<std::size_t>(P)].hi;
+  }
+  return s;
+}
+
+/// Sampled descriptor boxes inside the hull: the shapes that exercise full
+/// coverage, corners, degenerate single-iteration axes and steady-emptying
+/// slices. Every returned box is non-empty and a sub-box of the hull.
+std::vector<std::vector<Interval>> sample_boxes(
+    const std::vector<Interval>& hull, int axis) {
+  std::vector<std::vector<Interval>> out;
+  auto push = [&](std::vector<Interval> box) {
+    for (const Interval& b : box)
+      if (b.is_empty()) return;
+    out.push_back(std::move(box));
+  };
+  const int n = static_cast<int>(hull.size());
+  push(hull);  // full hull
+  std::vector<Interval> lo_corner, hi_corner, lo_half, hi_half;
+  for (const Interval& h : hull) {
+    lo_corner.push_back(Interval::point(h.lo));
+    hi_corner.push_back(Interval::point(h.hi));
+    i64 mid = checked::add(h.lo, checked::sub(h.hi, h.lo) / 2);
+    lo_half.push_back(Interval::of(h.lo, mid));
+    hi_half.push_back(Interval::of(mid, h.hi));
+  }
+  push(lo_corner);
+  push(hi_corner);
+  push(lo_half);
+  push(hi_half);
+  if (axis >= 0 && axis < n) {
+    // Thin slices of the partition axis at the hull ends: the shapes most
+    // likely to produce an empty or negative-extent steady range.
+    std::vector<Interval> lo_slice = hull, hi_slice = hull;
+    lo_slice[static_cast<std::size_t>(axis)] =
+        Interval::point(hull[static_cast<std::size_t>(axis)].lo);
+    hi_slice[static_cast<std::size_t>(axis)] =
+        Interval::point(hull[static_cast<std::size_t>(axis)].hi);
+    push(lo_slice);
+    push(hi_slice);
+  }
+  return out;
+}
+
+// ---- textual checks ----------------------------------------------------
+
+std::size_t count_occurrences(const std::string& text, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(pat); at != std::string::npos;
+       at = text.find(pat, at + pat.size()))
+    ++n;
+  return n;
+}
+
+/// Text between the single `begin`/`end` marker pair, or nullopt when the
+/// pair is missing or duplicated.
+std::optional<std::string> extract_between(const std::string& text,
+                                           const std::string& begin,
+                                           const std::string& end) {
+  if (count_occurrences(text, begin) != 1 || count_occurrences(text, end) != 1)
+    return std::nullopt;
+  std::size_t b = text.find(begin) + begin.size();
+  std::size_t e = text.find(end);
+  if (e < b) return std::nullopt;
+  return text.substr(b, e - b);
+}
+
+/// Removes every `/* vdep:scan begin */ ... /* vdep:scan end */` section.
+std::string strip_scan_sections(std::string text) {
+  const std::string b = "/* vdep:scan begin */";
+  const std::string e = "/* vdep:scan end */";
+  for (;;) {
+    std::size_t at = text.find(b);
+    if (at == std::string::npos) return text;
+    std::size_t stop = text.find(e, at);
+    if (stop == std::string::npos) return text;  // dangling: leave for caller
+    text.erase(at, stop + e.size() - at);
+  }
+}
+
+}  // namespace
+
+std::string VerifierReport::summary() const {
+  if (ok)
+    return "verified (" + std::to_string(obligations.size()) +
+           " obligations)";
+  return "rejected: " + (failures.empty() ? std::string("unknown")
+                                          : failures.front());
+}
+
+std::string VerifierReport::to_string() const {
+  std::ostringstream os;
+  for (const std::string& o : obligations) os << o << "\n";
+  for (const std::string& f : failures) os << "FAIL: " << f << "\n";
+  os << (ok ? "VERDICT: verified" : "VERDICT: rejected") << "\n";
+  return os.str();
+}
+
+VerifierReport verify_partitioned_kernel(const loopir::LoopNest& original,
+                                         const loopir::LoopNest& transformed,
+                                         int num_doall,
+                                         const LoopPartition& part,
+                                         const std::string& source) {
+  VerifierReport rep;
+  auto fail = [&](std::string msg) { rep.failures.push_back(std::move(msg)); };
+  std::vector<std::string> names = transformed.index_names();
+
+  // ---- obligation 1: completeness --------------------------------------
+  {
+    std::size_t before = rep.failures.size();
+    std::optional<LoopPartition> redo =
+        analyze_partition(transformed, num_doall);
+    if (!redo) {
+      fail("completeness: independent re-derivation refused to partition");
+    } else {
+      if (redo->axis != part.axis)
+        fail("completeness: axis mismatch (derived " +
+             std::to_string(redo->axis) + ", presented " +
+             std::to_string(part.axis) + ")");
+      if (redo->level_static != part.level_static)
+        fail("completeness: per-level static flags differ");
+      if (redo->constraints.size() != part.constraints.size())
+        fail("completeness: " + std::to_string(redo->constraints.size()) +
+             " constraint(s) derived, " +
+             std::to_string(part.constraints.size()) + " presented");
+    }
+    // Every non-static bound term must be discharged by some constraint
+    // (catches a tampered plan even if the counts happen to agree).
+    for (int k = 0; k < num_doall && k < transformed.depth(); ++k) {
+      for (bool lower : {true, false}) {
+        const loopir::Bound& b =
+            lower ? transformed.level(k).lower : transformed.level(k).upper;
+        bool is_static = true;
+        try {
+          is_static = part.env.is_static(b, lower, k);
+        } catch (const Error& e) {
+          fail(std::string("completeness: interval evaluation failed: ") +
+               e.what());
+          continue;
+        }
+        if (is_static) continue;
+        for (const loopir::BoundTerm& t : b.terms()) {
+          bool found = false;
+          for (const ClipConstraint& c : part.constraints)
+            if (c.level == k && c.lower == lower && c.term == t) {
+              found = true;
+              break;
+            }
+          if (!found)
+            fail("completeness: level " + std::to_string(k) +
+                 (lower ? " lower" : " upper") + " term (" +
+                 t.num.to_string(names) + ")/" + std::to_string(t.den) +
+                 " has no clip constraint");
+        }
+      }
+    }
+    rep.obligations.push_back(rep.failures.size() == before
+                                  ? "completeness: PASS"
+                                  : "completeness: FAIL");
+  }
+
+  // ---- obligation 2: exact cover + steadiness over sampled boxes -------
+  {
+    std::size_t before = rep.failures.size();
+    if (part.env.empty_space()) {
+      rep.obligations.push_back(
+          "exact-cover: PASS (empty iteration space, nothing to cover)");
+    } else {
+      std::size_t boxes = 0;
+      try {
+        for (const std::vector<Interval>& box :
+             sample_boxes(part.env.hulls(), part.axis)) {
+          ++boxes;
+          // The steady region is the whole box when fully static; else the
+          // solved sub-range of the partition axis, whose complement must
+          // tile the axis range exactly.
+          std::vector<Interval> slices = box;
+          if (!part.fully_static()) {
+            const Interval& bp = box[static_cast<std::size_t>(part.axis)];
+            SteadyRange s = solve_steady(part, box);
+            Interval pro = Interval::of(bp.lo, checked::sub(s.s_lo, 1));
+            Interval ste = Interval::of(s.s_lo, s.s_hi);
+            Interval epi = Interval::of(checked::add(s.s_hi, 1), bp.hi);
+            i64 total = checked::add(checked::add(pro.extent(), ste.extent()),
+                                     epi.extent());
+            bool cover =
+                s.s_lo >= bp.lo && s.s_lo <= checked::add(bp.hi, 1) &&
+                s.s_hi <= bp.hi && s.s_hi >= checked::sub(s.s_lo, 1) &&
+                total == bp.extent();
+            if (!cover)
+              fail("exact-cover: regions [" + pro.to_string() + ", " +
+                   ste.to_string() + ", " + epi.to_string() +
+                   "] do not tile axis range " + bp.to_string());
+            if (ste.is_empty()) continue;  // no steady region: nothing to prove
+            slices[static_cast<std::size_t>(part.axis)] = ste;
+          }
+          // Steadiness: inside the steady region every boxed level's
+          // bound∩box must be the identity. Interval proof over the box
+          // slices (axis restricted to the steady range).
+          IntervalEnv env = IntervalEnv::from_hulls(slices);
+          for (int k = 0; k < num_doall; ++k) {
+            const Interval& bk = box[static_cast<std::size_t>(k)];
+            Interval lo_iv =
+                env.bound_interval(transformed.level(k).lower, true, k);
+            Interval hi_iv =
+                env.bound_interval(transformed.level(k).upper, false, k);
+            if (lo_iv.hi > bk.lo)
+              fail("steadiness: level " + std::to_string(k) +
+                   " lower bound can exceed the box (interval " +
+                   lo_iv.to_string() + " vs box lo " + std::to_string(bk.lo) +
+                   ")");
+            if (hi_iv.lo < bk.hi)
+              fail("steadiness: level " + std::to_string(k) +
+                   " upper bound can undercut the box (interval " +
+                   hi_iv.to_string() + " vs box hi " + std::to_string(bk.hi) +
+                   ")");
+          }
+        }
+      } catch (const Error& e) {
+        fail(std::string("exact-cover: analysis overflow/error: ") + e.what());
+      }
+      rep.obligations.push_back(
+          rep.failures.size() == before
+              ? "exact-cover+steadiness: PASS (" + std::to_string(boxes) +
+                    " sampled boxes)"
+              : "exact-cover+steadiness: FAIL");
+    }
+  }
+
+  // ---- obligation 3: clamp-free steady text ----------------------------
+  {
+    std::size_t before = rep.failures.size();
+    if (count_occurrences(source, "/* vdep:partitioned begin */") != 1 ||
+        count_occurrences(source, "/* vdep:partitioned end */") != 1)
+      fail("steady-text: partitioned fast-path markers missing or duplicated");
+    std::optional<std::string> steady = extract_between(
+        source, "/* vdep:region steady begin */", "/* vdep:region steady end */");
+    if (!steady) {
+      fail("steady-text: steady region markers missing or duplicated");
+    } else {
+      if (!part.fully_static()) {
+        for (const char* region : {"prologue", "epilogue"}) {
+          std::string b = std::string("/* vdep:region ") + region + " begin */";
+          std::string e = std::string("/* vdep:region ") + region + " end */";
+          if (count_occurrences(source, b) != 1 ||
+              count_occurrences(source, e) != 1)
+            fail(std::string("steady-text: ") + region +
+                 " region markers missing or duplicated");
+        }
+      }
+      std::string headers = strip_scan_sections(*steady);
+      if (count_occurrences(headers, "/* vdep:scan begin */") != 0)
+        fail("steady-text: dangling scan marker in the steady region");
+      for (const char* banned : {"vdep_max(", "vdep_min(", "vdep_floordiv(",
+                                 "vdep_ceildiv(", "vdep_ndims"}) {
+        if (count_occurrences(headers, banned) != 0)
+          fail(std::string("steady-text: clamp artifact '") + banned +
+               "' inside the steady region headers");
+      }
+    }
+    rep.obligations.push_back(rep.failures.size() == before
+                                  ? "steady-text: PASS"
+                                  : "steady-text: FAIL");
+  }
+
+  // ---- obligation 4: subscript ranges (interval oracle) ----------------
+  {
+    std::size_t before = rep.failures.size();
+    try {
+      IntervalEnv env = IntervalEnv::from_nest(original, original.depth());
+      original.for_each_access([&](const loopir::ArrayRef& ref, int, bool) {
+        const loopir::ArrayDecl& decl = original.array(ref.array);
+        for (int d = 0; d < decl.arity(); ++d) {
+          Interval iv = env.eval(ref.subscripts[static_cast<std::size_t>(d)],
+                                 original.depth());
+          auto [lo, hi] = decl.dims[static_cast<std::size_t>(d)];
+          if (!Interval::of(lo, hi).contains(iv))
+            fail("subscript-ranges: " + ref.array + " dim " +
+                 std::to_string(d) + " interval " + iv.to_string() +
+                 " can leave declared [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+        }
+      });
+    } catch (const Error& e) {
+      fail(std::string("subscript-ranges: interval oracle failed: ") +
+           e.what());
+    }
+    rep.obligations.push_back(rep.failures.size() == before
+                                  ? "subscript-ranges: PASS (interval oracle)"
+                                  : "subscript-ranges: FAIL");
+  }
+
+  rep.ok = rep.failures.empty();
+  return rep;
+}
+
+}  // namespace vdep::analysis

@@ -1,0 +1,67 @@
+// Static verification of a partitioned JIT range kernel.
+//
+// A partitioned kernel (codegen::emit_c_partitioned_range_kernel) replaces
+// the per-level bound∩box clamps of the steady region with direct box-slice
+// scans. That is only sound if the partition derivation was right, so the
+// verifier re-proves, from the LoopPartition artifact and the emitted C
+// text, every obligation the fast path depends on — and the JIT refuses to
+// load the partitioned kernel (falling back to the clamped one) unless all
+// of them hold:
+//
+//   1. completeness — the constraint set covers every non-static bound
+//      term of the boxed DOALL prefix (an independently re-derived
+//      partition must agree exactly), so no clamp was silently dropped;
+//   2. exact cover + steadiness — over a battery of sampled descriptor
+//      boxes (full hull, corners, half boxes, single-point and
+//      steady-emptying slices), the numerically solved steady range makes
+//      prologue/steady/epilogue tile [box_lo[p], box_hi[p]] exactly, and
+//      an IntervalEnv over the box slices proves every level's bound∩box
+//      is the identity inside the steady region (so the steady scan visits
+//      genuine polytope points — no phantom corners);
+//   3. clamp-free steady text — between the emitted steady-region markers,
+//      outside the marked Theorem-2 scan section (whose bound evaluations
+//      legitimately use min/max/mod), the loop headers contain no
+//      vdep_max/vdep_min/vdep_floordiv/vdep_ceildiv and no vdep_ndims
+//      test;
+//   4. subscript ranges — a second, interval-arithmetic oracle re-proves
+//      exec::prove_subscript_ranges' claim on the original nest (the
+//      Fourier–Motzkin proof the JIT already requires). Together with
+//      obligation 2 — every region scans a subset of the polytope — this
+//      extends the range proof region-by-region.
+//
+// The same checks back the `tools/vdep-verify` CLI, which prints the
+// obligation-by-obligation report for a DSL source file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/loop_partition.h"
+
+namespace vdep::analysis {
+
+struct VerifierReport {
+  bool ok = false;
+  /// One line per obligation: "exact-cover: PASS (7 boxes)" / "...: FAIL".
+  std::vector<std::string> obligations;
+  /// Failure details (empty when ok).
+  std::vector<std::string> failures;
+
+  /// "verified (4 obligations)" or "rejected: <first failure>".
+  std::string summary() const;
+  /// Multi-line, obligations then failures.
+  std::string to_string() const;
+};
+
+/// Verifies `part` and the emitted partitioned TU `source` against the
+/// transformed nest (`transformed` = codegen::rewrite_nest(original,
+/// plan).nest, `num_doall` = plan.num_doall). `original` is the
+/// pre-transform nest the subscript-range oracle runs over. Never throws:
+/// any analysis overflow fails the affected obligation conservatively.
+VerifierReport verify_partitioned_kernel(const loopir::LoopNest& original,
+                                         const loopir::LoopNest& transformed,
+                                         int num_doall,
+                                         const LoopPartition& part,
+                                         const std::string& source);
+
+}  // namespace vdep::analysis

@@ -1,0 +1,99 @@
+#include "analysis/loop_partition.h"
+
+#include <limits>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace vdep::analysis {
+
+std::string ClipConstraint::to_string(
+    const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "level " << level << (lower ? " lower" : " upper") << " term ("
+     << term.num.to_string(names) << ")/" << term.den << " coeff_axis "
+     << coeff_axis;
+  return os.str();
+}
+
+std::string LoopPartition::to_string(
+    const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  if (fully_static()) {
+    os << "fully static (" << num_levels << " level(s))";
+    return os.str();
+  }
+  os << "axis " << axis << ", " << constraints.size() << " constraint(s):";
+  for (const ClipConstraint& c : constraints) os << "\n  " << c.to_string(names);
+  return os.str();
+}
+
+std::optional<LoopPartition> analyze_partition(
+    const loopir::LoopNest& transformed, int num_doall) {
+  VDEP_REQUIRE(num_doall >= 0 && num_doall <= transformed.depth(),
+               "analyze_partition: num_doall out of range");
+  LoopPartition part;
+  part.num_levels = num_doall;
+  try {
+    part.env = IntervalEnv::from_nest(transformed, num_doall);
+    // The emitted region code does +/-1 arithmetic on hull-clamped box
+    // endpoints (canonical-empty normalization, epilogue start); refuse
+    // hulls touching the int64 limits rather than emit wrapping code.
+    if (!part.env.empty_space()) {
+      for (const Interval& h : part.env.hulls())
+        if (h.lo <= std::numeric_limits<i64>::min() + 1 ||
+            h.hi >= std::numeric_limits<i64>::max() - 1)
+          return std::nullopt;
+    }
+
+    // Collect the non-static terms and the smallest index any references.
+    struct Pending {
+      int level;
+      bool lower;
+      const loopir::BoundTerm* term;
+    };
+    std::vector<Pending> pending;
+    part.level_static.assign(static_cast<std::size_t>(num_doall), 1);
+    int axis = -1;
+    for (int k = 0; k < num_doall; ++k) {
+      const loopir::Level& lv = transformed.level(k);
+      for (bool lower : {true, false}) {
+        const loopir::Bound& b = lower ? lv.lower : lv.upper;
+        if (part.env.is_static(b, lower, k)) continue;
+        part.level_static[static_cast<std::size_t>(k)] = 0;
+        for (const loopir::BoundTerm& t : b.terms()) {
+          pending.push_back({k, lower, &t});
+          int first = -1;
+          for (int m = 0; m < k; ++m)
+            if (t.num.coeff(m) != 0) { first = m; break; }
+          // A term of a non-static bound can itself be constant (one term
+          // of a max/min); it still needs a constraint (it participates in
+          // the clamp) but never moves the axis.
+          if (first >= 0 && (axis < 0 || first < axis)) axis = first;
+        }
+      }
+    }
+
+    if (pending.empty()) return part;  // fully static, axis stays -1
+
+    // Every non-static bound has at least one index-referencing term, so
+    // an axis was found; and every level <= axis is statically steady: a
+    // non-static bound there would reference an index below the axis.
+    VDEP_CHECK(axis >= 0, "non-static bounds but no referenced index");
+    for (int k = 0; k <= axis; ++k)
+      VDEP_CHECK(part.level_static[static_cast<std::size_t>(k)],
+                 "partition axis is not statically steady");
+    part.axis = axis;
+    part.constraints.reserve(pending.size());
+    for (const Pending& p : pending)
+      part.constraints.push_back(
+          ClipConstraint{p.level, p.lower, *p.term, p.term->num.coeff(axis)});
+    return part;
+  } catch (const OverflowError&) {
+    // Bounds outside what int64 interval arithmetic can certify: keep the
+    // clamped kernel.
+    return std::nullopt;
+  }
+}
+
+}  // namespace vdep::analysis

@@ -1,0 +1,95 @@
+// Steady-state loop partitioning of the JIT range kernel's DOALL prefix.
+//
+// The emitted range kernel intersects every boxed DOALL level's transformed
+// bound with the descriptor box (`max(bound_lo, box_lo)`,
+// `min(bound_hi, box_hi)`) on every loop entry, which keeps the compiler
+// from proving anything about the inner trip counts. This pass derives, in
+// the style of Halide's LoopPartition, the maximal sub-range of one
+// partition axis on which every clamp is *statically the identity* —
+// `bound∩box == box` — so the emitted nest splits into
+//
+//   prologue  [box_lo[p], S_lo-1]   clamped (boundary) code
+//   steady    [S_lo,      S_hi]     clamp-free: every boxed level scans
+//                                   exactly [box_lo[k], box_hi[k]]
+//   epilogue  [S_hi+1,   box_hi[p]] clamped (boundary) code
+//
+// with S_lo/S_hi computed once at kernel entry from the (runtime) box.
+// The three ranges tile [box_lo[p], box_hi[p]] exactly by construction; a
+// negative-extent steady range is normalized to the canonical empty pair
+// (S_lo = box_hi[p]+1, S_hi = box_hi[p]) so the prologue absorbs the whole
+// axis and the epilogue collapses — Halide's max(0, extent) idiom.
+//
+// Derivation. A boxed level whose bound intervals over the hull
+// (analysis/interval.h) are points is *statically steady*: the runtime box
+// is always a sub-box of the hull, so the clamp is the identity everywhere
+// and the level simply scans its box slice. For each remaining non-static
+// bound term (num, den) at level k, identity at an outer point means
+//
+//   lower term:  ceil(num/den) <= box_lo[k]   <=>   num <= den*box_lo[k]
+//   upper term: floor(num/den) >= box_hi[k]   <=>   num >= den*box_hi[k]
+//
+// — affine inequalities in the enclosing transformed indices. The
+// partition axis p is the smallest index referenced by any of them, which
+// makes every level <= p statically steady (a non-static bound at such a
+// level would reference an even smaller index). Each inequality is solved
+// for j_p by worst-casing the other referenced indices over their box
+// ranges (exactly what they scan inside the steady region), yielding a
+// lower limit, an upper limit, or — when j_p's coefficient is zero — a
+// whole-box runtime guard. codegen/emit_c.cpp turns the ClipConstraints
+// into the S_lo/S_hi/guard expressions; analysis/kernel_verifier.h
+// independently re-derives and checks them before the partitioned kernel
+// is allowed to load.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+
+namespace vdep::analysis {
+
+/// One solved identity condition of a non-static bound term.
+struct ClipConstraint {
+  /// Boxed DOALL level whose clamp this discharges.
+  int level = 0;
+  /// True when it comes from a lower-bound term (num <= den*box_lo[level]);
+  /// false for an upper-bound term (num >= den*box_hi[level]).
+  bool lower = true;
+  /// The original term of the transformed bound.
+  loopir::BoundTerm term;
+  /// term.num.coeff(axis): > 0 / < 0 pick the solve direction; == 0 makes
+  /// this a whole-box runtime guard.
+  i64 coeff_axis = 0;
+
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+/// The partition of a plan's boxed DOALL prefix.
+struct LoopPartition {
+  /// Number of DOALL levels analyzed (the plan's num_doall).
+  int num_levels = 0;
+  /// Partition axis p, or -1 when every level is statically steady (the
+  /// whole box is one steady region and no split code is emitted).
+  int axis = -1;
+  /// Per level: 1 when both bounds are statically steady over the hull.
+  std::vector<std::uint8_t> level_static;
+  /// Identity conditions of every non-static term, solved for `axis`.
+  std::vector<ClipConstraint> constraints;
+  /// Interval hulls the derivation ran over (verifier input).
+  IntervalEnv env;
+
+  bool fully_static() const { return axis < 0; }
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+/// Derives the steady-state partition of `plan`'s DOALL prefix over the
+/// transformed nest (codegen::rewrite_nest output). Returns nullopt when
+/// the analysis cannot certify a partition — today only when the interval
+/// arithmetic overflows int64 — in which case callers keep the clamped
+/// kernel. A plan with no DOALL loops yields the trivial fully-static
+/// partition (nothing is boxed, nothing to split).
+std::optional<LoopPartition> analyze_partition(
+    const loopir::LoopNest& transformed, int num_doall);
+
+}  // namespace vdep::analysis

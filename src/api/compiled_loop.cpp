@@ -203,6 +203,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
         if (native) {
           rs = pool ? ex->run(store, *native, *pool) : ex->run(store, *native);
           rep.jit = true;
+          rep.jit_partitioned = native->partitioned();
         } else {
           rs = pool ? ex->run(store, *pool) : ex->run(store);
         }

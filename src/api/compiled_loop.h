@@ -174,6 +174,10 @@ struct ExecReport {
   i64 checksum = 0;      ///< final store digest
   bool verified = false; ///< true when produced by check()
   bool jit = false;      ///< true when a native kernel ran the bodies
+  /// True when the native kernel was the verified steady-state partitioned
+  /// variant (analysis::KernelVerifier admitted it); false for the clamped
+  /// kernel, including verifier-forced fallbacks.
+  bool jit_partitioned = false;
 };
 
 /// The cached unit: fingerprint + the two structure-only stages, plus a

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/loop_partition.h"
 #include "support/error.h"
 
 namespace vdep::codegen {
@@ -202,6 +203,157 @@ void emit_main(std::ostringstream& os, const LoopNest& nest,
      << "  return 0;\n}\n";
 }
 
+// ---- JIT range-kernel TU pieces (shared by the clamped and partitioned
+// ---- variants) -------------------------------------------------------
+
+void emit_jit_prelude(std::ostringstream& os) {
+  os << "#include <stdint.h>\n\n"
+     << "static inline int64_t vdep_max(int64_t a, int64_t b) { return a > b ? a : b; }\n"
+     << "static inline int64_t vdep_min(int64_t a, int64_t b) { return a < b ? a : b; }\n"
+     << "static inline int64_t vdep_floordiv(int64_t a, int64_t b) {\n"
+     << "  int64_t q = a / b, r = a % b;\n"
+     << "  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;\n"
+     << "}\n"
+     << "static inline int64_t vdep_ceildiv(int64_t a, int64_t b) {\n"
+     << "  int64_t q = a / b, r = a % b;\n"
+     << "  return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;\n"
+     << "}\n"
+     << "static inline int64_t vdep_mod(int64_t a, int64_t b) {\n"
+     << "  int64_t m = a % b;\n"
+     << "  return m < 0 ? m + (b < 0 ? -b : b) : m;\n"
+     << "}\n\n";
+}
+
+// Arrays are raw row-major buffers handed in by the runtime in declaration
+// order; the macros reproduce emit_arrays' flattening with declared lower
+// bounds, only over vdep_buf_<k> instead of a static.
+void emit_jit_array_macros(std::ostringstream& os, const LoopNest& nest) {
+  const auto& arrays = nest.arrays();
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    const loopir::ArrayDecl& d = arrays[a];
+    os << "#define " << d.name << "(";
+    for (int k = 0; k < d.arity(); ++k) os << (k ? ", " : "") << "x" << k;
+    os << ") vdep_buf_" << a << "[";
+    std::string idx;
+    for (int k = 0; k < d.arity(); ++k) {
+      auto [lo, hi] = d.dims[static_cast<std::size_t>(k)];
+      std::string term =
+          "((x" + std::to_string(k) + ") - (" + std::to_string(lo) + "))";
+      idx = idx.empty() ? term
+                        : "(" + idx + ") * " + std::to_string(hi - lo + 1) +
+                              " + " + term;
+    }
+    os << idx << "]\n";
+  }
+}
+
+void emit_entry_open(std::ostringstream& os, const LoopNest& nest,
+                     const std::string& entry_name) {
+  os << "\nint64_t " << entry_name
+     << "(int64_t** vdep_arrays, const int64_t* vdep_lo, const int64_t* "
+        "vdep_hi,\n"
+     << "    int64_t vdep_ndims, int64_t vdep_class_lo, int64_t "
+        "vdep_class_hi) {\n";
+  for (std::size_t a = 0; a < nest.arrays().size(); ++a)
+    os << "  int64_t* restrict vdep_buf_" << a << " = vdep_arrays[" << a
+       << "];\n";
+  os << "  int64_t vdep_count = 0;\n";
+}
+
+// Everything under one `vdep_class` binding: the Theorem-2 strided scan
+// (or the unpartitioned trailing levels), counting every iteration.
+void emit_class_body(std::ostringstream& os, const LoopNest& nest,
+                     const trans::TransformPlan& plan,
+                     const std::vector<std::string>& names,
+                     std::string& indent) {
+  if (plan.partition.has_value()) {
+    emit_partition_scan(os, nest, *plan.partition, plan.num_doall, names,
+                        indent, "++vdep_count;");
+  } else {
+    // Unpartitioned tail (class range is the degenerate [0, 1)).
+    os << indent << "(void)vdep_class;\n";
+    int opened = 0;
+    for (int k = plan.num_doall; k < nest.depth(); ++k) {
+      const loopir::Level& l = nest.level(k);
+      os << indent << "for (int64_t " << l.name << " = "
+         << c_bound(l.lower, true, names) << "; " << l.name
+         << " <= " << c_bound(l.upper, false, names) << "; ++" << l.name
+         << ") {\n";
+      indent += "  ";
+      ++opened;
+    }
+    emit_body(os, nest, names, indent);
+    os << indent << "++vdep_count;\n";
+    for (int k = 0; k < opened; ++k) {
+      indent.resize(indent.size() - 2);
+      os << indent << "}\n";
+    }
+  }
+}
+
+// The class loop wrapping emit_class_body — the innermost section of every
+// region of the clamped kernel and of multi-class partitioned kernels.
+void emit_class_section(std::ostringstream& os, const LoopNest& nest,
+                        const trans::TransformPlan& plan,
+                        const std::vector<std::string>& names,
+                        std::string& indent) {
+  os << indent << "for (int64_t vdep_class = vdep_class_lo; vdep_class < "
+     << "vdep_class_hi; ++vdep_class) {\n";
+  indent += "  ";
+  emit_class_body(os, nest, plan, names, indent);
+  indent.resize(indent.size() - 2);
+  os << indent << "}\n";
+}
+
+// Single-residue-class specialization for the partitioned fast path: the
+// caller's class range is pinned to [0, 1) by the fast-path guard, so the
+// per-point class loop degenerates to one body execution and is dropped —
+// the spatial loop becomes the innermost loop, which is what lets the
+// toolchain vectorize the steady region.
+void emit_point_section(std::ostringstream& os, const LoopNest& nest,
+                        const trans::TransformPlan& plan,
+                        const std::vector<std::string>& names,
+                        std::string& indent) {
+  os << indent << "{  /* single class: range hoisted into the fast-path "
+     << "guard */\n";
+  indent += "  ";
+  os << indent << "const int64_t vdep_class = 0;\n";
+  emit_class_body(os, nest, plan, names, indent);
+  indent.resize(indent.size() - 2);
+  os << indent << "}\n";
+}
+
+// The original clamped execution: every boxed level intersects its bound
+// with the descriptor box at loop entry. Used as the whole body of the
+// clamped kernel and as the generic path of the partitioned kernel (for
+// callers boxing fewer dimensions than the plan's DOALL count).
+void emit_clamped_path(std::ostringstream& os, const LoopNest& nest,
+                       const trans::TransformPlan& plan,
+                       const std::vector<std::string>& names) {
+  const int nd = plan.num_doall;
+  if (nd == 0)
+    os << "  (void)vdep_lo; (void)vdep_hi; (void)vdep_ndims;\n";
+  std::string indent = "  ";
+  for (int k = 0; k < nd; ++k) {
+    const loopir::Level& l = nest.level(k);
+    os << indent << "int64_t vdep_l" << k << " = "
+       << c_bound(l.lower, true, names) << ";\n"
+       << indent << "int64_t vdep_h" << k << " = "
+       << c_bound(l.upper, false, names) << ";\n"
+       << indent << "if (" << k << " < vdep_ndims) { vdep_l" << k
+       << " = vdep_max(vdep_l" << k << ", vdep_lo[" << k << "]); vdep_h" << k
+       << " = vdep_min(vdep_h" << k << ", vdep_hi[" << k << "]); }\n"
+       << indent << "for (int64_t " << l.name << " = vdep_l" << k << "; "
+       << l.name << " <= vdep_h" << k << "; ++" << l.name << ") {\n";
+    indent += "  ";
+  }
+  emit_class_section(os, nest, plan, names, indent);
+  for (int k = nd - 1; k >= 0; --k) {
+    indent.resize(indent.size() - 2);
+    os << indent << "}\n";
+  }
+}
+
 }  // namespace
 
 std::string emit_c_original(const LoopNest& nest, const EmitOptions& opts) {
@@ -279,117 +431,209 @@ std::string emit_c_range_kernel(const LoopNest& original,
                                 const std::string& entry_name) {
   TransformedNest tn = rewrite_nest(original, plan);
   const LoopNest& nest = tn.nest;
-  const int nd = plan.num_doall;
-  const int depth = nest.depth();
   std::vector<std::string> names = nest.index_names();
 
   std::ostringstream os;
   os << "/* Generated by vdep: JIT range kernel (T = " << plan.t.to_string()
-     << ", " << nd << " outer DOALL loop(s), " << plan.partition_classes
-     << " partition class(es)). */\n";
-  os << "#include <stdint.h>\n\n"
-     << "static inline int64_t vdep_max(int64_t a, int64_t b) { return a > b ? a : b; }\n"
-     << "static inline int64_t vdep_min(int64_t a, int64_t b) { return a < b ? a : b; }\n"
-     << "static inline int64_t vdep_floordiv(int64_t a, int64_t b) {\n"
-     << "  int64_t q = a / b, r = a % b;\n"
-     << "  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;\n"
-     << "}\n"
-     << "static inline int64_t vdep_ceildiv(int64_t a, int64_t b) {\n"
-     << "  int64_t q = a / b, r = a % b;\n"
-     << "  return (r != 0 && ((r < 0) == (b < 0))) ? q + 1 : q;\n"
-     << "}\n"
-     << "static inline int64_t vdep_mod(int64_t a, int64_t b) {\n"
-     << "  int64_t m = a % b;\n"
-     << "  return m < 0 ? m + (b < 0 ? -b : b) : m;\n"
-     << "}\n\n";
+     << ", " << plan.num_doall << " outer DOALL loop(s), "
+     << plan.partition_classes << " partition class(es)). */\n";
+  emit_jit_prelude(os);
+  emit_jit_array_macros(os, nest);
+  emit_entry_open(os, nest, entry_name);
+  emit_clamped_path(os, nest, plan, names);
+  os << "  return vdep_count;\n}\n";
+  return os.str();
+}
 
-  // Arrays are raw row-major buffers handed in by the runtime in
-  // declaration order; the macros reproduce emit_arrays' flattening with
-  // declared lower bounds, only over vdep_buf_<k> instead of a static.
-  const auto& arrays = nest.arrays();
-  for (std::size_t a = 0; a < arrays.size(); ++a) {
-    const loopir::ArrayDecl& d = arrays[a];
-    os << "#define " << d.name << "(";
-    for (int k = 0; k < d.arity(); ++k) os << (k ? ", " : "") << "x" << k;
-    os << ") vdep_buf_" << a << "[";
-    std::string idx;
-    for (int k = 0; k < d.arity(); ++k) {
-      auto [lo, hi] = d.dims[static_cast<std::size_t>(k)];
-      std::string term =
-          "((x" + std::to_string(k) + ") - (" + std::to_string(lo) + "))";
-      idx = idx.empty() ? term
-                        : "(" + idx + ") * " + std::to_string(hi - lo + 1) +
-                              " + " + term;
-    }
-    os << idx << "]\n";
-  }
+std::string emit_c_partitioned_range_kernel(const LoopNest& original,
+                                            const trans::TransformPlan& plan,
+                                            const analysis::LoopPartition& part,
+                                            const std::string& entry_name,
+                                            bool inject_fault) {
+  TransformedNest tn = rewrite_nest(original, plan);
+  const LoopNest& nest = tn.nest;
+  const int nd = plan.num_doall;
+  VDEP_REQUIRE(nd > 0, "partitioned kernel needs a boxed DOALL prefix");
+  VDEP_REQUIRE(part.num_levels == nd,
+               "partition level count does not match the plan's DOALL count");
+  std::vector<std::string> names = nest.index_names();
+  const int P = part.axis;
 
-  os << "\nint64_t " << entry_name
-     << "(int64_t** vdep_arrays, const int64_t* vdep_lo, const int64_t* "
-        "vdep_hi,\n"
-     << "    int64_t vdep_ndims, int64_t vdep_class_lo, int64_t "
-        "vdep_class_hi) {\n";
-  for (std::size_t a = 0; a < arrays.size(); ++a)
-    os << "  int64_t* restrict vdep_buf_" << a << " = vdep_arrays[" << a
-       << "];\n";
-  os << "  int64_t vdep_count = 0;\n";
-  if (nd == 0)
-    os << "  (void)vdep_lo; (void)vdep_hi; (void)vdep_ndims;\n";
+  std::ostringstream os;
+  os << "/* Generated by vdep: partitioned JIT range kernel (T = "
+     << plan.t.to_string() << ", " << nd << " outer DOALL loop(s), "
+     << plan.partition_classes << " partition class(es); steady-state "
+     << (part.fully_static()
+             ? std::string("over the whole box (all bounds static)")
+             : "split on axis " + std::to_string(P) + " by " +
+                   std::to_string(part.constraints.size()) +
+                   " clip constraint(s)")
+     << "). */\n";
+  emit_jit_prelude(os);
+  emit_jit_array_macros(os, nest);
+  emit_entry_open(os, nest, entry_name);
 
-  std::string indent = "  ";
-  // DOALL prefix: every level iterates its transformed bounds intersected
-  // with the descriptor's box range when the level is boxed (matches
-  // runtime::StreamExecutor::execute_leaf — callers with fewer boxed
-  // dimensions than the plan's DOALL count scan the rest in full).
+  // Fast path: every plan DOALL level is boxed by the caller. The
+  // effective box is the descriptor box clamped once, here, to the static
+  // interval hull — which makes the region code below agree with the
+  // clamped path for *any* caller box, not only sub-boxes of the hull.
+  // Single-class plans additionally pin the class range in the guard so the
+  // regions below can drop the per-point class loop (emit_point_section);
+  // any other class range — including empty — takes the generic path.
+  const bool single_class = plan.partition_classes == 1;
+  os << "  if (vdep_ndims == " << nd
+     << (single_class ? " && vdep_class_lo == 0 && vdep_class_hi == 1" : "")
+     << ") {  /* vdep:partitioned begin */\n";
+  std::string indent = "    ";
   for (int k = 0; k < nd; ++k) {
-    const loopir::Level& l = nest.level(k);
-    os << indent << "int64_t vdep_l" << k << " = "
-       << c_bound(l.lower, true, names) << ";\n"
-       << indent << "int64_t vdep_h" << k << " = "
-       << c_bound(l.upper, false, names) << ";\n"
-       << indent << "if (" << k << " < vdep_ndims) { vdep_l" << k
-       << " = vdep_max(vdep_l" << k << ", vdep_lo[" << k << "]); vdep_h" << k
-       << " = vdep_min(vdep_h" << k << ", vdep_hi[" << k << "]); }\n"
-       << indent << "for (int64_t " << l.name << " = vdep_l" << k << "; "
-       << l.name << " <= vdep_h" << k << "; ++" << l.name << ") {\n";
-    indent += "  ";
+    const analysis::Interval& h = part.env.level_hull(k);
+    os << indent << "const int64_t vdep_blo" << k << " = vdep_max(vdep_lo["
+       << k << "], " << h.lo << "LL);\n"
+       << indent << "const int64_t vdep_bhi" << k << " = vdep_min(vdep_hi["
+       << k << "], " << h.hi << "LL);\n";
   }
 
-  os << indent << "for (int64_t vdep_class = vdep_class_lo; vdep_class < "
-     << "vdep_class_hi; ++vdep_class) {\n";
-  indent += "  ";
-  if (plan.partition.has_value()) {
-    emit_partition_scan(os, nest, *plan.partition, nd, names, indent,
-                        "++vdep_count;");
-  } else {
-    // Unpartitioned tail (class range is the degenerate [0, 1)).
-    os << indent << "(void)vdep_class;\n";
-    int opened = 0;
-    for (int k = nd; k < depth; ++k) {
+  // Opens the boxed levels in (from, to) against the effective box, either
+  // clamped against their transformed bounds (boundary regions) or scanning
+  // the box slice directly (steady: the clamp is provably the identity).
+  auto open_inner = [&](int from, int to, bool clamped) {
+    for (int k = from; k < to; ++k) {
       const loopir::Level& l = nest.level(k);
-      os << indent << "for (int64_t " << l.name << " = "
-         << c_bound(l.lower, true, names) << "; " << l.name
-         << " <= " << c_bound(l.upper, false, names) << "; ++" << l.name
-         << ") {\n";
+      if (clamped) {
+        os << indent << "int64_t vdep_l" << k << " = vdep_max("
+           << c_bound(l.lower, true, names) << ", vdep_blo" << k << ");\n"
+           << indent << "int64_t vdep_h" << k << " = vdep_min("
+           << c_bound(l.upper, false, names) << ", vdep_bhi" << k << ");\n"
+           << indent << "for (int64_t " << l.name << " = vdep_l" << k << "; "
+           << l.name << " <= vdep_h" << k << "; ++" << l.name << ") {\n";
+      } else {
+        os << indent << "for (int64_t " << l.name << " = vdep_blo" << k
+           << "; " << l.name << " <= vdep_bhi" << k << "; ++" << l.name
+           << ") {\n";
+      }
       indent += "  ";
-      ++opened;
     }
-    emit_body(os, nest, names, indent);
-    os << indent << "++vdep_count;\n";
-    for (int k = 0; k < opened; ++k) {
+  };
+  auto close_levels = [&](int count) {
+    for (int k = 0; k < count; ++k) {
       indent.resize(indent.size() - 2);
       os << indent << "}\n";
     }
-  }
-  indent.resize(indent.size() - 2);
-  os << indent << "}\n";
+  };
+  auto emit_fault = [&]() {
+    if (!inject_fault) return;
+    os << indent << "const int64_t vdep_fault = vdep_min(vdep_count, 0); "
+       << "(void)vdep_fault;  /* injected fault (test-only) */\n";
+  };
 
-  if (nd > 0) {
-    for (int k = nd - 1; k >= 0; --k) {
-      indent.resize(indent.size() - 2);
-      os << indent << "}\n";
+  if (part.fully_static()) {
+    // Every clamp is the identity everywhere: the whole box is steady.
+    os << indent << "/* vdep:region steady begin */\n";
+    emit_fault();
+    open_inner(0, nd, /*clamped=*/false);
+    os << indent << "/* vdep:scan begin */\n";
+    if (single_class)
+      emit_point_section(os, nest, plan, names, indent);
+    else
+      emit_class_section(os, nest, plan, names, indent);
+    os << indent << "/* vdep:scan end */\n";
+    close_levels(nd);
+    os << indent << "/* vdep:region steady end */\n";
+  } else {
+    // Steady sub-range of the partition axis: the j_P values where every
+    // clip constraint holds for every inner point of the box, computed
+    // once from the (runtime) effective box. Candidates only shrink
+    // [vdep_blo_P, vdep_bhi_P]; a failed guard or inverted range collapses
+    // to the canonical empty pair so the prologue absorbs the whole axis.
+    os << indent << "int64_t vdep_s_lo = vdep_blo" << P << ";\n"
+       << indent << "int64_t vdep_s_hi = vdep_bhi" << P << ";\n";
+    int ci = 0;
+    for (const analysis::ClipConstraint& c : part.constraints) {
+      const AffineExpr& num = c.term.num;
+      std::ostringstream kx;
+      kx << c.term.den << "LL * vdep_b" << (c.lower ? "lo" : "hi") << c.level
+         << " - (" << num.constant_term() << "LL)";
+      for (int m = 0; m < c.level; ++m) {
+        if (m == P) continue;
+        i64 cm = num.coeff(m);
+        if (cm == 0) continue;
+        bool worst_hi = c.lower ? (cm > 0) : (cm < 0);
+        kx << " - " << cm << "LL * vdep_b" << (worst_hi ? "hi" : "lo") << m;
+      }
+      os << indent << "const int64_t vdep_kq" << ci << " = " << kx.str()
+         << ";\n";
+      if (c.coeff_axis == 0) {
+        os << indent << "if (vdep_kq" << ci << (c.lower ? " < 0" : " > 0")
+           << ") vdep_s_lo = vdep_bhi" << P
+           << " + 1;  /* guard: never identity on this box */\n";
+      } else if ((c.coeff_axis > 0) == c.lower) {
+        os << indent << "vdep_s_hi = vdep_min(vdep_s_hi, vdep_floordiv("
+           << "vdep_kq" << ci << ", " << c.coeff_axis << "LL));\n";
+      } else {
+        os << indent << "vdep_s_lo = vdep_max(vdep_s_lo, vdep_ceildiv("
+           << "vdep_kq" << ci << ", " << c.coeff_axis << "LL));\n";
+      }
+      ++ci;
     }
+    os << indent << "if (vdep_s_lo > vdep_s_hi) { vdep_s_lo = vdep_bhi" << P
+       << " + 1; vdep_s_hi = vdep_bhi" << P << "; }\n";
+
+    // Levels up to the axis are statically steady (a non-static bound
+    // there would reference an index below the axis): box scans, shared by
+    // all three regions.
+    open_inner(0, P, /*clamped=*/false);
+
+    const std::string& pn = nest.level(P).name;
+    os << indent << "/* vdep:region prologue begin */\n"
+       << indent << "for (int64_t " << pn << " = vdep_blo" << P << "; " << pn
+       << " < vdep_s_lo; ++" << pn << ") {\n";
+    indent += "  ";
+    open_inner(P + 1, nd, /*clamped=*/true);
+    if (single_class)
+      emit_point_section(os, nest, plan, names, indent);
+    else
+      emit_class_section(os, nest, plan, names, indent);
+    close_levels(nd - P - 1);
+    close_levels(1);
+    os << indent << "/* vdep:region prologue end */\n";
+
+    os << indent << "/* vdep:region steady begin */\n";
+    emit_fault();
+    os << indent << "for (int64_t " << pn << " = vdep_s_lo; " << pn
+       << " <= vdep_s_hi; ++" << pn << ") {\n";
+    indent += "  ";
+    open_inner(P + 1, nd, /*clamped=*/false);
+    os << indent << "/* vdep:scan begin */\n";
+    if (single_class)
+      emit_point_section(os, nest, plan, names, indent);
+    else
+      emit_class_section(os, nest, plan, names, indent);
+    os << indent << "/* vdep:scan end */\n";
+    close_levels(nd - P - 1);
+    close_levels(1);
+    os << indent << "/* vdep:region steady end */\n";
+
+    os << indent << "/* vdep:region epilogue begin */\n"
+       << indent << "for (int64_t " << pn << " = vdep_s_hi + 1; " << pn
+       << " <= vdep_bhi" << P << "; ++" << pn << ") {\n";
+    indent += "  ";
+    open_inner(P + 1, nd, /*clamped=*/true);
+    if (single_class)
+      emit_point_section(os, nest, plan, names, indent);
+    else
+      emit_class_section(os, nest, plan, names, indent);
+    close_levels(nd - P - 1);
+    close_levels(1);
+    os << indent << "/* vdep:region epilogue end */\n";
+
+    close_levels(P);
   }
+  os << "    return vdep_count;\n"
+     << "  }  /* vdep:partitioned end */\n";
+
+  // Generic path: callers boxing fewer dimensions than the plan's DOALL
+  // count (runtime split_dims policies) take the original clamped code.
+  emit_clamped_path(os, nest, plan, names);
   os << "  return vdep_count;\n}\n";
   return os.str();
 }

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "analysis/loop_partition.h"
 #include "codegen/rewrite.h"
 
 namespace vdep::codegen {
@@ -53,5 +54,21 @@ std::string emit_c_transformed(const loopir::LoopNest& original,
 std::string emit_c_range_kernel(const loopir::LoopNest& original,
                                 const trans::TransformPlan& plan,
                                 const std::string& entry_name);
+
+/// Steady-state partitioned variant of emit_c_range_kernel: same entry
+/// signature, same observable behavior for any box. When the caller boxes
+/// exactly the plan's DOALL prefix (`ndims == num_doall`), a fast path
+/// clamps the box to the static interval hull once, splits the partition
+/// axis into prologue / steady / epilogue per `part`'s clip constraints,
+/// and scans the steady region with clamp-free, box-slice loop headers
+/// (`/* vdep:region ... */` and `/* vdep:scan ... */` markers delimit the
+/// regions for analysis::KernelVerifier). Any other ndims falls through to
+/// the generic clamped path. `inject_fault` plants a vdep_min use inside
+/// the steady region so tests can exercise verifier rejection end-to-end.
+std::string emit_c_partitioned_range_kernel(const loopir::LoopNest& original,
+                                            const trans::TransformPlan& plan,
+                                            const analysis::LoopPartition& part,
+                                            const std::string& entry_name,
+                                            bool inject_fault = false);
 
 }  // namespace vdep::codegen

@@ -40,6 +40,14 @@ class NativeKernel final : public exec::RangeKernel {
   const std::string& source() const { return source_; }
   /// Path of the .so; empty once unlinked (the default lifecycle).
   const std::string& library_path() const { return so_path_; }
+  /// True when this is a verified steady-state partitioned kernel (-O3
+  /// fast path); false for the clamped kernel (including verifier
+  /// fallbacks).
+  bool partitioned() const { return partitioned_; }
+  /// The analysis::KernelVerifier summary that admitted this kernel — or,
+  /// for a clamped fallback, the rejection that forced it. Empty when
+  /// partitioning was not attempted.
+  const std::string& partition_verdict() const { return verdict_; }
 
  private:
   friend class ToolchainCompiler;
@@ -47,18 +55,23 @@ class NativeKernel final : public exec::RangeKernel {
                                    const std::int64_t*, std::int64_t,
                                    std::int64_t, std::int64_t);
   NativeKernel(void* handle, EntryFn fn, std::vector<std::string> arrays,
-               std::string source, std::string so_path)
+               std::string source, std::string so_path, bool partitioned,
+               std::string verdict)
       : handle_(handle),
         fn_(fn),
         arrays_(std::move(arrays)),
         source_(std::move(source)),
-        so_path_(std::move(so_path)) {}
+        so_path_(std::move(so_path)),
+        partitioned_(partitioned),
+        verdict_(std::move(verdict)) {}
 
   void* handle_ = nullptr;
   EntryFn fn_ = nullptr;
   std::vector<std::string> arrays_;  ///< buffer bind order (declaration order)
   std::string source_;
   std::string so_path_;
+  bool partitioned_ = false;
+  std::string verdict_;
 };
 
 }  // namespace vdep::jit

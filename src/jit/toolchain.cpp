@@ -5,7 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/kernel_verifier.h"
+#include "analysis/loop_partition.h"
 #include "codegen/emit_c.h"
+#include "codegen/rewrite.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -104,6 +107,12 @@ std::string JitOptions::memo_key() const {
   key += extra_flags;
   key += ";keep=";
   key += keep_artifacts ? '1' : '0';
+  key += ";part=";
+  key += partition ? '1' : '0';
+  key += ";native=";
+  key += native_arch ? '1' : '0';
+  key += ";fault=";
+  key += inject_partition_fault ? '1' : '0';
   return key;
 }
 
@@ -124,6 +133,7 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile(
   // The emitted kernel indexes raw buffers unchecked; refuse nests whose
   // subscripts the box proof cannot certify (they interpret instead).
   std::string source;
+  CompileMeta meta;
   {
     obs::ScopedSpan emit_span(obs::EventKind::kCodegen, /*layer_enabled=*/true,
                               obs::Phase::kCodegen);
@@ -133,23 +143,81 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile(
       return ApiError{ErrorKind::kUnsupported,
                       std::string("jit: range proof failed: ") + e.what()};
     }
-    try {
-      source = codegen::emit_c_range_kernel(original, plan, kEntryName);
-    } catch (const Error& e) {
-      return ApiError{ErrorKind::kUnsupported,
-                      std::string("jit: emission failed: ") + e.what()};
+
+    // Steady-state partitioning: derive the partition, emit the split TU,
+    // and let the kernel verifier decide whether it may load. Any refusal
+    // — analysis overflow, a failed obligation, an injected fault — keeps
+    // the clamped kernel, never blocks compilation.
+    if (opts_.partition && plan.num_doall > 0) {
+      try {
+        codegen::TransformedNest tn = codegen::rewrite_nest(original, plan);
+        std::optional<analysis::LoopPartition> part;
+        {
+          obs::ScopedSpan span(obs::EventKind::kPartitionAnalyze,
+                               /*layer_enabled=*/true, obs::Phase::kCodegen);
+          part = analysis::analyze_partition(tn.nest, plan.num_doall);
+          if (span.tracing() && part) {
+            span.set_arg(0, part->axis);
+            span.set_arg(1, static_cast<i64>(part->constraints.size()));
+          }
+        }
+        if (part) {
+          std::string psource = codegen::emit_c_partitioned_range_kernel(
+              original, plan, *part, kEntryName,
+              opts_.inject_partition_fault);
+          analysis::VerifierReport rep;
+          {
+            obs::ScopedSpan span(obs::EventKind::kPartitionVerify,
+                                 /*layer_enabled=*/true, obs::Phase::kCodegen);
+            rep = analysis::verify_partitioned_kernel(
+                original, tn.nest, plan.num_doall, *part, psource);
+            if (span.tracing()) {
+              span.set_arg(0, rep.ok ? 1 : 0);
+              span.set_arg(1, static_cast<i64>(rep.failures.size()));
+            }
+          }
+          if (rep.ok) {
+            source = std::move(psource);
+            meta.partitioned = true;
+            meta.partition_verdict = rep.summary();
+            meta.opt_flags = "-O3";
+            if (opts_.native_arch) meta.opt_flags += " -march=native";
+          } else {
+            meta.partition_verdict = rep.summary();
+          }
+        } else {
+          meta.partition_verdict = "rejected: partition analysis refused";
+        }
+      } catch (const Error& e) {
+        meta.partition_verdict =
+            std::string("rejected: partition pipeline error: ") + e.what();
+      }
+      if (!meta.partitioned && obs::MetricsRegistry::enabled())
+        obs::MetricsRegistry::instance()
+            .counter("vdep_partition_fallbacks_total",
+                     "partitioned kernels refused (clamped fallback)")
+            .inc();
+    }
+
+    if (source.empty()) {
+      try {
+        source = codegen::emit_c_range_kernel(original, plan, kEntryName);
+      } catch (const Error& e) {
+        return ApiError{ErrorKind::kUnsupported,
+                        std::string("jit: emission failed: ") + e.what()};
+      }
     }
   }
   std::vector<std::string> order;
   for (const loopir::ArrayDecl& a : original.arrays()) order.push_back(a.name);
-  return compile_source(source, kEntryName, std::move(order));
+  return compile_source(source, kEntryName, std::move(order), std::move(meta));
 }
 
 Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
     const std::string& c_source, const std::string& entry_name,
-    std::vector<std::string> array_order) const {
+    std::vector<std::string> array_order, CompileMeta meta) const {
 #ifndef VDEP_JIT_POSIX
-  (void)c_source; (void)entry_name; (void)array_order;
+  (void)c_source; (void)entry_name; (void)array_order; (void)meta;
   return ApiError{ErrorKind::kUnsupported,
                   "jit: native kernels need a POSIX host (dlopen)"};
 #else
@@ -180,7 +248,8 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
   // (The tree-walking interpreter is stricter still — checked:: arithmetic
   // that *throws* on overflow — so kInterpreter errors where kCompiled and
   // kJit agree on wrapped values.)
-  std::string cmd = shell_quote(*cc_) + " -O2 -fwrapv -fPIC -shared -x c " +
+  std::string cmd = shell_quote(*cc_) + " " + meta.opt_flags +
+                    " -fwrapv -fPIC -shared -x c " +
                     shell_quote(c_path.string()) + " -o " +
                     shell_quote(so_path.string());
   if (!opts_.extra_flags.empty()) cmd += " " + opts_.extra_flags;
@@ -192,10 +261,16 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
                             /*layer_enabled=*/true, obs::Phase::kJitCompile);
     rc = std::system(cmd.c_str());
   }
-  if (obs::MetricsRegistry::enabled())
+  if (obs::MetricsRegistry::enabled()) {
     obs::MetricsRegistry::instance()
         .counter("vdep_jit_builds_total", "toolchain cc invocations")
         .inc();
+    if (meta.partitioned)
+      obs::MetricsRegistry::instance()
+          .counter("vdep_partition_kernels_total",
+                   "verified steady-state partitioned kernels built")
+          .inc();
+  }
   bool ok = rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
   if (!ok) {
     std::string log = read_file(log_path, 2000);
@@ -234,7 +309,8 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
     fs::remove_all(work, ec);
   }
   return std::shared_ptr<const NativeKernel>(new NativeKernel(
-      handle, fn, std::move(array_order), c_source, kept_path));
+      handle, fn, std::move(array_order), c_source, kept_path,
+      meta.partitioned, std::move(meta.partition_verdict)));
 #endif
 }
 

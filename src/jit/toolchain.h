@@ -36,6 +36,16 @@ struct JitOptions {
   /// Keep the generated .c and .so on disk (debugging; default unlinks
   /// them as soon as the object is mapped).
   bool keep_artifacts = false;
+  /// Attempt the steady-state partitioned kernel (analysis::LoopPartition
+  /// + KernelVerifier); verified kernels compile at -O3, everything else
+  /// keeps the clamped -O2 kernel. Off forces the clamped kernel.
+  bool partition = true;
+  /// Add -march=native to verified partitioned kernels (opt-in: the .so is
+  /// then tied to the build host).
+  bool native_arch = false;
+  /// Test-only: plant a clamp artifact in the emitted steady region so the
+  /// verifier must reject it and the clamped fallback must load.
+  bool inject_partition_fault = false;
 
   /// Canonical memoization key of this option set (api plan-cache memo).
   std::string memo_key() const;
@@ -47,6 +57,16 @@ struct JitOptions {
 /// substituted. Only when `preferred` is empty does the default chain run:
 /// $VDEP_CC, then cc, gcc, clang looked up on $PATH.
 std::optional<std::string> discover_toolchain(const std::string& preferred = "");
+
+/// How ToolchainCompiler::compile_source builds and labels one TU.
+struct CompileMeta {
+  /// Optimization/arch flags ("-O2" clamped, "-O3 [-march=native]" for
+  /// verified partitioned kernels); -fwrapv -fPIC -shared are always on.
+  std::string opt_flags = "-O2";
+  /// Stamped onto the NativeKernel (partitioned() / partition_verdict()).
+  bool partitioned = false;
+  std::string partition_verdict;
+};
 
 class ToolchainCompiler {
  public:
@@ -67,7 +87,7 @@ class ToolchainCompiler {
   /// int64_t** argument.
   Expected<std::shared_ptr<const NativeKernel>> compile_source(
       const std::string& c_source, const std::string& entry_name,
-      std::vector<std::string> array_order) const;
+      std::vector<std::string> array_order, CompileMeta meta = {}) const;
 
  private:
   JitOptions opts_;

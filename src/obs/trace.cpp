@@ -21,6 +21,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCodegen: return "codegen";
     case EventKind::kCcSubprocess: return "cc_subprocess";
     case EventKind::kDlopen: return "dlopen";
+    case EventKind::kPartitionAnalyze: return "partition_analyze";
+    case EventKind::kPartitionVerify: return "partition_verify";
     case EventKind::kExecutorBuild: return "executor_build";
     case EventKind::kLeafExec: return "leaf_exec";
     case EventKind::kSplit: return "split";

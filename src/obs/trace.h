@@ -45,6 +45,10 @@ enum class EventKind : std::uint8_t {
   kCodegen,     ///< C text emission (range kernel / codegen())
   kCcSubprocess,
   kDlopen,
+  kPartitionAnalyze,  ///< steady-state partition derivation; args[0] = axis
+                      ///< (-1 fully static), args[1] = constraint count
+  kPartitionVerify,   ///< kernel verifier run; args[0] = 1 verified / 0
+                      ///< rejected, args[1] = failed obligation count
   kExecutorBuild,  ///< StreamExecutor construction (rewrite + hull)
   // Runtime events.
   kLeafExec,  ///< span; args = {cells, source, lo0, hi0, class_lo, class_hi}

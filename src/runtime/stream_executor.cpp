@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "analysis/interval.h"
 #include "exec/compiled.h"
 #include "exec/interpreter.h"
 #include "obs/metrics.h"
@@ -68,48 +69,17 @@ StreamExecutor::StreamExecutor(const loopir::LoopNest& original,
 }
 
 void StreamExecutor::compute_hull() {
-  // Rectangular hull of every DOALL-prefix dimension, outermost-in: a
-  // level's bounds only reference enclosing levels, so interval arithmetic
-  // over the already-computed hulls bounds each term, and max-of-term-mins
-  // (dually min-of-term-maxes) under-approximates the space's true
-  // lower bound from below (min over points of a max is >= the max of the
-  // per-term mins). The hull is therefore a superset of the projection —
-  // leaves re-intersect with the dynamic bounds, so excess cells are just
-  // empty — and exact for the common rectangular case.
+  // Rectangular hull of every DOALL-prefix dimension, delegated to the
+  // analysis pass (the same lattice the partitioner and kernel verifier
+  // reason over). The hull is a superset of the projection — leaves
+  // re-intersect with the dynamic bounds, so excess cells are just empty —
+  // and exact for the common rectangular case. An inverted level yields
+  // all-empty hulls so root() covers nothing.
+  const analysis::IntervalEnv env =
+      analysis::IntervalEnv::from_nest(tn_.nest, num_doall_);
   hull_.clear();
   hull_.reserve(static_cast<std::size_t>(num_doall_));
-  for (int k = 0; k < num_doall_; ++k) {
-    const loopir::Level& l = tn_.nest.level(k);
-    auto term_extreme = [&](const loopir::BoundTerm& t, bool lower) -> i64 {
-      i64 acc = t.num.constant_term();
-      for (int m = 0; m < k; ++m) {
-        i64 c = t.num.coeff(m);
-        auto [bl, bh] = hull_[static_cast<std::size_t>(m)];
-        acc = checked::add(acc, checked::mul(c, (c >= 0) == lower ? bl : bh));
-      }
-      return lower ? checked::ceil_div(acc, t.den)
-                   : checked::floor_div(acc, t.den);
-    };
-    bool first = true;
-    i64 lo = 0, hi = 0;
-    for (const loopir::BoundTerm& t : l.lower.terms()) {
-      i64 v = term_extreme(t, /*lower=*/true);
-      lo = first ? v : std::max(lo, v);
-      first = false;
-    }
-    first = true;
-    for (const loopir::BoundTerm& t : l.upper.terms()) {
-      i64 v = term_extreme(t, /*lower=*/false);
-      hi = first ? v : std::min(hi, v);
-      first = false;
-    }
-    if (lo > hi) {
-      // Empty space: publish empty hulls so root() covers nothing.
-      hull_.assign(static_cast<std::size_t>(num_doall_), {0, -1});
-      return;
-    }
-    hull_.emplace_back(lo, hi);
-  }
+  for (const analysis::Interval& h : env.hulls()) hull_.emplace_back(h.lo, h.hi);
 }
 
 TaskDescriptor StreamExecutor::root() const {

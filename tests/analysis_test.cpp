@@ -1,0 +1,467 @@
+// Tests for the static-analysis stack: Interval lattice edge cases, the
+// IntervalEnv hulls the streaming runtime now delegates to, the
+// steady-state LoopPartition derivation (empty/negative steady regions,
+// degenerate single-iteration axes, hull refusals near the int64 limits),
+// the KernelVerifier obligations (including rejection of tampered
+// partitions/TUs and the injected-fault end-to-end fallback), and
+// bit-identity of partitioned vs clamped kernels across the paper suite.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "analysis/interval.h"
+#include "analysis/kernel_verifier.h"
+#include "analysis/loop_partition.h"
+#include "api/vdep.h"
+#include "codegen/emit_c.h"
+#include "codegen/rewrite.h"
+#include "core/suite.h"
+#include "dep/pdm.h"
+#include "exec/interpreter.h"
+#include "jit/toolchain.h"
+#include "loopir/builder.h"
+#include "runtime/stream_executor.h"
+#include "trans/planner.h"
+
+namespace vdep {
+namespace {
+
+using analysis::Interval;
+using analysis::IntervalEnv;
+using intlin::i64;
+
+trans::TransformPlan plan_for(const loopir::LoopNest& nest) {
+  return trans::plan_transform(dep::compute_pdm(nest));
+}
+
+bool have_toolchain() { return jit::discover_toolchain().has_value(); }
+
+/// Depth-2 nest with no cross-iteration dependence (T = I, both levels
+/// DOALL): inner bounds are the triangular j in [i + `skew`, hi].
+loopir::LoopNest triangular_doall(i64 n, i64 skew = 0) {
+  loopir::LoopNestBuilder b;
+  b.loop("i", 0, n);
+  b.loop("j", loopir::Bound(loopir::AffineExpr(intlin::Vec{1, 0}, skew)),
+         loopir::Bound(loopir::AffineExpr::constant(2, n)));
+  b.array("A", {{0, n}, {0, 2 * n + 2}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           loopir::Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                             loopir::Expr::constant(1)));
+  return b.build();
+}
+
+// ------------------------------------------------------ Interval lattice
+
+TEST(Interval, EmptyAndPointBasics) {
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_EQ(Interval::empty().extent(), 0);
+  EXPECT_TRUE(Interval::point(7).is_point());
+  EXPECT_EQ(Interval::of(3, 5).extent(), 3);
+  EXPECT_TRUE(Interval::of(2, 9).contains(2));
+  EXPECT_FALSE(Interval::of(2, 9).contains(10));
+  // The empty interval is contained in everything, including itself.
+  EXPECT_TRUE(Interval::of(5, 5).contains(Interval::empty()));
+  EXPECT_TRUE(Interval::empty().contains(Interval::empty()));
+  EXPECT_FALSE(Interval::empty().contains(Interval::point(0)));
+}
+
+TEST(Interval, ArithmeticAndNegativeScaling) {
+  Interval a = Interval::of(-2, 3);
+  EXPECT_EQ(a + Interval::of(10, 20), Interval::of(8, 23));
+  EXPECT_EQ((a + Interval::empty()).is_empty(), true);
+  EXPECT_EQ(a.scaled(2), Interval::of(-4, 6));
+  EXPECT_EQ(a.scaled(-1), Interval::of(-3, 2));  // endpoints swap
+  EXPECT_EQ(a.scaled(0), Interval::point(0));
+  EXPECT_EQ(Interval::of(-7, 7).ceil_div(2), Interval::of(-3, 4));
+  EXPECT_EQ(Interval::of(-7, 7).floor_div(2), Interval::of(-4, 3));
+  EXPECT_EQ(Interval::of(0, 1).hull(Interval::of(5, 6)), Interval::of(0, 6));
+  EXPECT_TRUE(Interval::of(0, 3).intersect(Interval::of(5, 9)).is_empty());
+}
+
+TEST(Interval, CheckedArithmeticThrowsAtTheLimits) {
+  const i64 top = std::numeric_limits<i64>::max();
+  const i64 bottom = std::numeric_limits<i64>::min();
+  EXPECT_THROW(Interval::of(bottom, top).extent(), OverflowError);
+  EXPECT_THROW(Interval::of(top, top).plus(1), OverflowError);
+  EXPECT_THROW(Interval::of(top / 2, top).scaled(3), OverflowError);
+}
+
+// ------------------------------------------------- IntervalEnv vs runtime
+
+TEST(IntervalEnv, HullsMatchTheStreamExecutorRoot) {
+  // The runtime's descriptor root is built from the delegated hulls; check
+  // the env agrees with root() on a skewed suite nest.
+  for (i64 n : {6, 20}) {
+    loopir::LoopNest nest = core::example42(n);
+    trans::TransformPlan plan = plan_for(nest);
+    codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+    IntervalEnv env = IntervalEnv::from_nest(tn.nest, plan.num_doall);
+    runtime::StreamExecutor ex(nest, plan, {});
+    runtime::TaskDescriptor root = ex.root();
+    for (int k = 0; k < root.ndims; ++k) {
+      EXPECT_EQ(env.level_hull(k).lo, root.lo[k]) << "n=" << n << " k=" << k;
+      EXPECT_EQ(env.level_hull(k).hi, root.hi[k]) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(IntervalEnv, InvertedLevelEmptiesTheWholeSpace) {
+  loopir::LoopNestBuilder b;
+  b.loop("i", 5, 2);  // inverted: zero iterations
+  b.loop("j", 0, 9);
+  b.array("A", {{0, 9}});
+  b.assign(b.ref("A", {b.idx(1)}),
+           loopir::Expr::add(b.read("A", {b.idx(1)}), loopir::Expr::constant(1)));
+  IntervalEnv env = IntervalEnv::from_nest(b.build(), 2);
+  EXPECT_TRUE(env.empty_space());
+  EXPECT_TRUE(env.level_hull(0).is_empty());
+  EXPECT_TRUE(env.level_hull(1).is_empty());
+}
+
+TEST(IntervalEnv, DegeneratePointAxisMakesDependentBoundsStatic) {
+  // i has a single iteration, so the syntactically non-constant bound
+  // "j >= i" is still a point interval: interval analysis beats a
+  // syntactic constancy test and the whole nest is fully static.
+  loopir::LoopNestBuilder b;
+  b.loop("i", 4, 4);
+  b.loop("j", loopir::Bound(loopir::AffineExpr(intlin::Vec{1, 0}, 0)),
+         loopir::Bound(loopir::AffineExpr::constant(2, 9)));
+  b.array("A", {{0, 9}, {0, 9}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           loopir::Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                             loopir::Expr::constant(1)));
+  loopir::LoopNest degen = b.build();
+  IntervalEnv env = IntervalEnv::from_nest(degen, 2);
+  EXPECT_EQ(env.level_hull(0), Interval::point(4));
+  EXPECT_EQ(env.level_hull(1), Interval::of(4, 9));
+  EXPECT_TRUE(env.is_static(degen.level(1).lower, /*lower=*/true, 1));
+
+  auto part = analysis::analyze_partition(degen, 2);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_TRUE(part->fully_static());
+}
+
+// ------------------------------------------------------ partition analysis
+
+TEST(LoopPartition, TriangularInnerBoundPartitionsOnTheOuterAxis) {
+  loopir::LoopNest nest = triangular_doall(16);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_EQ(plan.num_doall, 2);  // dependence-free: identity transform
+  codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+  auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_FALSE(part->fully_static());
+  EXPECT_EQ(part->axis, 0);
+  EXPECT_EQ(part->level_static[0], 1);
+  EXPECT_EQ(part->level_static[1], 0);
+  ASSERT_EQ(part->constraints.size(), 1u);
+  EXPECT_EQ(part->constraints[0].level, 1);
+  EXPECT_TRUE(part->constraints[0].lower);
+  EXPECT_EQ(part->constraints[0].coeff_axis, 1);
+}
+
+TEST(LoopPartition, SuiteNestsAreFullyStaticAfterTransform) {
+  // Every paper-suite nest has rectangular transformed bounds: the
+  // partition must come back fully static (no split needed, whole box
+  // steady).
+  for (core::NamedNest& c : core::paper_suite(12)) {
+    trans::TransformPlan plan = plan_for(c.nest);
+    if (plan.num_doall == 0) continue;
+    codegen::TransformedNest tn = codegen::rewrite_nest(c.nest, plan);
+    auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+    ASSERT_TRUE(part.has_value()) << c.name;
+    EXPECT_TRUE(part->fully_static()) << c.name;
+  }
+}
+
+TEST(LoopPartition, HullAtTheInt64LimitIsRefused) {
+  // The region arithmetic does +/-1 on hull endpoints; a hull touching the
+  // int64 limits must make the analysis refuse (clamped fallback), not
+  // emit wrapping code.
+  const i64 top = std::numeric_limits<i64>::max();
+  loopir::LoopNestBuilder b;
+  b.loop("i", top - 4, top - 1);
+  b.array("A", {{0, 9}});
+  b.assign(b.ref("A", {b.cst(3)}),
+           loopir::Expr::add(b.read("A", {b.cst(3)}), loopir::Expr::constant(1)));
+  loopir::LoopNest nest = b.build();
+  EXPECT_FALSE(analysis::analyze_partition(nest, 1).has_value());
+}
+
+TEST(LoopPartition, OverflowingBoundsRefuseConservatively) {
+  // Coefficients whose interval product leaves int64: analyze_partition
+  // catches the OverflowError and returns nullopt.
+  const i64 big = std::numeric_limits<i64>::max() / 2;
+  loopir::LoopNestBuilder b;
+  b.loop("i", 0, 4);
+  b.loop("j", loopir::Bound(loopir::AffineExpr(intlin::Vec{big, 0}, 0)),
+         loopir::Bound(loopir::AffineExpr(intlin::Vec{big, 0}, big)));
+  b.array("A", {{0, 4}});
+  b.assign(b.ref("A", {b.idx(0)}),
+           loopir::Expr::add(b.read("A", {b.idx(0)}), loopir::Expr::constant(1)));
+  EXPECT_FALSE(analysis::analyze_partition(b.build(), 2).has_value());
+}
+
+// ------------------------------------------------------- kernel verifier
+
+/// Runs the full static pipeline (plan, rewrite, partition, emit, verify)
+/// and returns the report; requires the partition to exist.
+analysis::VerifierReport verify_nest(const loopir::LoopNest& nest,
+                                     bool inject_fault = false) {
+  trans::TransformPlan plan = plan_for(nest);
+  codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+  auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+  EXPECT_TRUE(part.has_value());
+  std::string tu = codegen::emit_c_partitioned_range_kernel(
+      nest, plan, *part, "vdep_range_kernel", inject_fault);
+  return analysis::verify_partitioned_kernel(nest, tn.nest, plan.num_doall,
+                                             *part, tu);
+}
+
+TEST(KernelVerifier, SuiteNestsVerifyCleanly) {
+  // Acceptance bar: exact cover + clamp-free steady must be *proved* for
+  // every suite nest that partitions.
+  for (core::NamedNest& c : core::paper_suite(12)) {
+    trans::TransformPlan plan = plan_for(c.nest);
+    if (plan.num_doall == 0) continue;
+    analysis::VerifierReport rep = verify_nest(c.nest);
+    EXPECT_TRUE(rep.ok) << c.name << ": " << rep.summary();
+  }
+}
+
+TEST(KernelVerifier, TriangularNestVerifies) {
+  analysis::VerifierReport rep = verify_nest(triangular_doall(16));
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_EQ(rep.obligations.size(), 4u);
+}
+
+/// j in [i, 2*i], i in [1, 8]: both a lower and an upper clip constraint
+/// fight over the axis, and at the full hull box the steady range solves
+/// to s_lo = 8 > s_hi = 1 — the canonical-empty normalization kicks in and
+/// the prologue absorbs the whole axis. The space itself is NOT empty.
+loopir::LoopNest wedge_nest() {
+  loopir::LoopNestBuilder b;
+  b.loop("i", 1, 8);
+  b.loop("j", loopir::Bound(loopir::AffineExpr(intlin::Vec{1, 0}, 0)),
+         loopir::Bound(loopir::AffineExpr(intlin::Vec{2, 0}, 0)));
+  b.array("A", {{1, 8}, {1, 16}});
+  b.assign(b.ref("A", {b.idx(0), b.idx(1)}),
+           loopir::Expr::add(b.read("A", {b.idx(0), b.idx(1)}),
+                             loopir::Expr::constant(1)));
+  return b.build();
+}
+
+TEST(KernelVerifier, EmptySteadyRegionStillTilesExactly) {
+  loopir::LoopNest nest = wedge_nest();
+  EXPECT_GT(nest.iteration_count(), 0);
+  trans::TransformPlan plan = plan_for(nest);
+  ASSERT_EQ(plan.num_doall, 2);
+  codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+  auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->axis, 0);
+  EXPECT_EQ(part->constraints.size(), 2u);
+  analysis::VerifierReport rep = verify_nest(nest);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(KernelVerifier, WholeSpaceEmptyNestVerifiesTrivially) {
+  // j in [i + 9, 8], i in [0, 8]: the inner hull inverts, the env marks
+  // the whole space empty, the partition is fully static and obligation 2
+  // passes vacuously.
+  loopir::LoopNest nest = triangular_doall(8, /*skew=*/9);
+  EXPECT_EQ(nest.iteration_count(), 0);
+  analysis::VerifierReport rep = verify_nest(nest);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(KernelVerifier, InjectedFaultIsRejected) {
+  analysis::VerifierReport rep =
+      verify_nest(triangular_doall(16), /*inject_fault=*/true);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.failures.empty());
+  EXPECT_NE(rep.summary().find("rejected"), std::string::npos);
+}
+
+TEST(KernelVerifier, TamperedConstraintSetFailsCompleteness) {
+  // Drop one clip constraint from the partition: the adversarial nest the
+  // acceptance criteria call for. Completeness must fail.
+  loopir::LoopNest nest = triangular_doall(16);
+  trans::TransformPlan plan = plan_for(nest);
+  codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+  auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+  ASSERT_TRUE(part.has_value());
+  std::string tu = codegen::emit_c_partitioned_range_kernel(
+      nest, plan, *part, "vdep_range_kernel");
+
+  analysis::LoopPartition tampered = *part;
+  tampered.constraints.clear();
+  analysis::VerifierReport rep = analysis::verify_partitioned_kernel(
+      nest, tn.nest, plan.num_doall, tampered, tu);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(KernelVerifier, TamperedSourceFailsTheTextualObligation) {
+  loopir::LoopNest nest = triangular_doall(12);
+  trans::TransformPlan plan = plan_for(nest);
+  codegen::TransformedNest tn = codegen::rewrite_nest(nest, plan);
+  auto part = analysis::analyze_partition(tn.nest, plan.num_doall);
+  ASSERT_TRUE(part.has_value());
+  std::string tu = codegen::emit_c_partitioned_range_kernel(
+      nest, plan, *part, "vdep_range_kernel");
+
+  // Remove the steady-region end marker: the extraction must fail closed.
+  std::string truncated = tu;
+  std::size_t pos = truncated.find("/* vdep:region steady end */");
+  ASSERT_NE(pos, std::string::npos);
+  truncated.erase(pos, 28);
+  analysis::VerifierReport rep = analysis::verify_partitioned_kernel(
+      nest, tn.nest, plan.num_doall, *part, truncated);
+  EXPECT_FALSE(rep.ok);
+}
+
+// ---------------------------------------------- end-to-end JIT behaviour
+
+TEST(PartitionedJit, SuiteBitIdentityPartitionedVsClamped) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  // The partitioned and clamped kernels must produce bit-identical stores
+  // (and the sequential reference) across the whole suite.
+  for (core::NamedNest& c : core::paper_suite(10)) {
+    Compiler compiler;
+    auto loop = compiler.compile(c.nest);
+    ASSERT_TRUE(loop.has_value()) << c.name;
+
+    exec::ArrayStore ref(c.nest);
+    ref.fill_pattern();
+    exec::ArrayStore init = ref;
+    exec::run_sequential(c.nest, ref);
+
+    // Nests with no DOALL prefix have no box loops to specialize:
+    // partitioning is (correctly) not attempted there.
+    const bool can_partition = loop->plan().transform.num_doall > 0;
+    for (bool partition : {true, false}) {
+      exec::ArrayStore got = init;
+      jit::JitOptions jo;
+      jo.partition = partition;
+      ExecPolicy policy;
+      policy.threads(2).backend(ExecBackend::kJit).jit_options(jo);
+      auto rep = loop->execute(policy, got);
+      ASSERT_TRUE(rep.has_value()) << c.name << ": " << rep.error().to_string();
+      EXPECT_TRUE(rep->jit) << c.name;
+      EXPECT_EQ(rep->jit_partitioned, partition && can_partition) << c.name;
+      EXPECT_TRUE(ref == got) << c.name << " diverged (partition="
+                              << partition << ")";
+    }
+  }
+}
+
+TEST(PartitionedJit, TriangularNestRunsThePartitionedKernel) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  // Non-static bounds: the real prologue/steady/epilogue split, end to end.
+  loopir::LoopNest nest = triangular_doall(24);
+  Compiler compiler;
+  auto loop = compiler.compile(nest);
+  ASSERT_TRUE(loop.has_value());
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+
+  ExecPolicy policy;
+  policy.threads(2).backend(ExecBackend::kJit);
+  auto rep = loop->execute(policy, got);
+  ASSERT_TRUE(rep.has_value()) << rep.error().to_string();
+  EXPECT_TRUE(rep->jit);
+  EXPECT_TRUE(rep->jit_partitioned);
+  EXPECT_EQ(rep->iterations, nest.iteration_count());
+  EXPECT_TRUE(ref == got);
+
+  auto kernel = loop->jit();
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_TRUE((*kernel)->partitioned());
+  EXPECT_NE((*kernel)->partition_verdict().find("verified"), std::string::npos);
+  EXPECT_NE((*kernel)->source().find("/* vdep:region steady begin */"),
+            std::string::npos);
+}
+
+TEST(PartitionedJit, EmptySteadyRegionExecutesBitIdentically) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  // At the root box the wedge nest's steady range is empty (prologue
+  // absorbs the whole axis): the degenerate split must still visit every
+  // iteration exactly once.
+  loopir::LoopNest nest = wedge_nest();
+  Compiler compiler;
+  auto loop = compiler.compile(nest);
+  ASSERT_TRUE(loop.has_value());
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+
+  ExecPolicy policy;
+  policy.threads(2).backend(ExecBackend::kJit);
+  auto rep = loop->execute(policy, got);
+  ASSERT_TRUE(rep.has_value()) << rep.error().to_string();
+  EXPECT_TRUE(rep->jit);
+  EXPECT_TRUE(rep->jit_partitioned);
+  EXPECT_EQ(rep->iterations, nest.iteration_count());
+  EXPECT_TRUE(ref == got);
+}
+
+TEST(PartitionedJit, InjectedFaultForcesTheClampedFallbackEndToEnd) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  // The verifier rejection path through the real JIT: the faulty
+  // partitioned TU must never load; the clamped kernel runs and stays
+  // bit-identical.
+  loopir::LoopNest nest = triangular_doall(20);
+  Compiler compiler;
+  auto loop = compiler.compile(nest);
+  ASSERT_TRUE(loop.has_value());
+
+  exec::ArrayStore ref(nest);
+  ref.fill_pattern();
+  exec::ArrayStore got = ref;
+  exec::run_sequential(nest, ref);
+
+  jit::JitOptions jo;
+  jo.inject_partition_fault = true;
+  ExecPolicy policy;
+  policy.threads(2).backend(ExecBackend::kJit).jit_options(jo);
+  auto rep = loop->execute(policy, got);
+  ASSERT_TRUE(rep.has_value()) << rep.error().to_string();
+  EXPECT_TRUE(rep->jit);
+  EXPECT_FALSE(rep->jit_partitioned);  // rejected -> clamped
+  EXPECT_TRUE(ref == got);
+
+  auto kernel = loop->jit(jo);
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_FALSE((*kernel)->partitioned());
+  EXPECT_NE((*kernel)->partition_verdict().find("rejected"),
+            std::string::npos);
+  // The loaded source is the clamped TU — no partitioned fast path.
+  EXPECT_EQ((*kernel)->source().find("/* vdep:partitioned begin */"),
+            std::string::npos);
+}
+
+TEST(PartitionedJit, PartitionOptionsSeparateTheKernelMemo) {
+  if (!have_toolchain()) GTEST_SKIP() << "no C toolchain";
+  Compiler compiler;
+  auto loop = compiler.compile(triangular_doall(10));
+  ASSERT_TRUE(loop.has_value());
+  jit::JitOptions off;
+  off.partition = false;
+  auto k_on = loop->jit();
+  auto k_off = loop->jit(off);
+  ASSERT_TRUE(k_on.has_value());
+  ASSERT_TRUE(k_off.has_value());
+  EXPECT_NE(k_on->get(), k_off->get());
+  EXPECT_TRUE((*k_on)->partitioned());
+  EXPECT_FALSE((*k_off)->partitioned());
+  EXPECT_TRUE((*k_off)->partition_verdict().empty());
+}
+
+}  // namespace
+}  // namespace vdep

@@ -1,8 +1,11 @@
 // Cross-backend differential fuzzing: seeded random affine nests (depth
 // 1-3, coupled subscripts, variable distances, a quarter of the multi-dim
 // cases with skewed extents — outer extent 1-2, innermost >= 64 — to fuzz
-// the inner-axis descriptor splitter) must produce bit-identical final
-// stores through every execution strategy —
+// the inner-axis descriptor splitter, and a third of them with affine
+// non-constant bounds — triangular/wedge spaces where an inner bound is a
+// max/min with an outer index, the shapes the steady-state loop partition
+// splits) must produce bit-identical final stores through every execution
+// strategy —
 //
 //   sequential reference  (exec::run_sequential, the paper's semantics)
 //   streaming interpreter (ExecBackend::kInterpreter)
@@ -108,8 +111,28 @@ LoopNest random_nest(Rng& rng) {
   for (int k = 0; k < depth; ++k) {
     i64 lo = rng.uniform(-2, 2);
     i64 ext = extents[static_cast<std::size_t>(k)];
-    b.loop("i" + std::to_string(k + 1), lo, lo + ext - 1);
-    box.emplace_back(lo, lo + ext - 1);
+    i64 hi = lo + ext - 1;
+    box.emplace_back(lo, hi);
+    // A third of the inner levels get an affine non-constant bound: the
+    // constant stays as one max/min term, so the triangular space is a
+    // subset of the rectangular box (the declared array hulls and the
+    // value-growth bound still hold). These are the wedge shapes the
+    // steady-state partition pass splits into prologue/steady/epilogue.
+    if (k >= 1 && rng.chance(1, 3)) {
+      int m = static_cast<int>(rng.uniform(0, k - 1));
+      intlin::Vec coeffs(static_cast<std::size_t>(depth), 0);
+      coeffs[static_cast<std::size_t>(m)] = rng.chance(1, 2) ? 1 : -1;
+      AffineExpr e(std::move(coeffs), rng.uniform(-2, 2));
+      loopir::Bound lower = loopir::Bound::constant(depth, lo);
+      loopir::Bound upper = loopir::Bound::constant(depth, hi);
+      if (rng.chance(1, 2))
+        lower.add_term({e, 1});  // lower = max(lo, e)
+      else
+        upper.add_term({e, 1});  // upper = min(hi, e)
+      b.loop("i" + std::to_string(k + 1), std::move(lower), std::move(upper));
+    } else {
+      b.loop("i" + std::to_string(k + 1), lo, hi);
+    }
   }
 
   int arity = static_cast<int>(rng.uniform(1, depth >= 2 ? 2 : 1));

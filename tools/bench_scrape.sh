@@ -29,6 +29,10 @@ printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_thr
 "$build_dir"/bench_runtime_throughput | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_plan_cache | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_jit_speedup | tee /dev/stderr >> "$tmp"
+# Partition-gate lines are scraped for the trajectory; the pass/fail bar
+# itself is enforced by the dedicated jit-smoke CI step, so a miss here
+# only shows up in the data, it doesn't abort the scrape.
+("$build_dir"/bench_jit_speedup --partition-gate || true) | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_batch_serving | tee /dev/stderr >> "$tmp"
 
 grep '^{' "$tmp" > "$out"

@@ -1,0 +1,128 @@
+// vdep-verify: static kernel-verifier driver for the steady-state
+// partitioning pass.
+//
+// Reads a loop program in the mini-DSL, runs the full compile pipeline up
+// to codegen (parse -> PDM -> Algorithm 1 plan -> FM rewrite), then the
+// analysis stack on its own: interval hulls, partition derivation, the
+// partitioned-TU emission and every KernelVerifier obligation — and prints
+// the verdict the JIT would act on. No toolchain is invoked and nothing
+// executes; this is the auditing view of jit::ToolchainCompiler's decision.
+//
+//   $ ./vdep-verify loop.vdep            # report the verdict
+//   $ ./vdep-verify --emit loop.vdep     # also print the partitioned C
+//   $ ./vdep-verify --inject-fault x.vdep  # plant a steady-region clamp;
+//                                          # the verifier must reject it
+//
+// Exit status: 0 the partitioned kernel verified, 1 it was rejected (the
+// JIT would fall back to the clamped kernel), 2 usage/parse/pipeline error,
+// 3 partitioning was not attempted (no DOALL prefix) or analysis refused.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/interval.h"
+#include "analysis/kernel_verifier.h"
+#include "analysis/loop_partition.h"
+#include "api/vdep.h"
+#include "codegen/emit_c.h"
+#include "codegen/rewrite.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: vdep-verify [--emit] [--inject-fault] <file|->\n";
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit = false;
+  bool inject_fault = false;
+  std::string path;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--inject-fault") {
+      inject_fault = true;
+    } else if (arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::string source = read_input(path);
+  vdep::Compiler compiler;
+  vdep::Expected<vdep::CompiledLoop> loop = compiler.compile(source);
+  if (!loop) {
+    std::cerr << path << ": " << loop.error().message << "\n";
+    return 2;
+  }
+
+  try {
+    const vdep::trans::TransformPlan& plan = loop->plan().transform;
+    std::cout << "nest: depth " << loop->nest().depth() << ", DOALL prefix "
+              << plan.num_doall << ", partition classes "
+              << loop->plan().partition_classes << "\n";
+    if (plan.num_doall == 0) {
+      std::cout << "partitioning not attempted: no DOALL prefix (the clamped "
+                   "kernel has no box loops to split)\n";
+      return 3;
+    }
+
+    vdep::codegen::TransformedNest tn =
+        vdep::codegen::rewrite_nest(loop->nest(), plan);
+    std::optional<vdep::analysis::LoopPartition> part =
+        vdep::analysis::analyze_partition(tn.nest, plan.num_doall);
+    if (!part) {
+      std::cout << "partition analysis refused (interval overflow or hull at "
+                   "the int64 limits); the JIT keeps the clamped kernel\n";
+      return 3;
+    }
+
+    const std::vector<std::string> names = tn.nest.index_names();
+    std::cout << "\n-- interval hulls (transformed DOALL prefix) --\n";
+    for (int k = 0; k < part->num_levels; ++k)
+      std::cout << "  " << names[static_cast<std::size_t>(k)] << ": "
+                << part->env.level_hull(k).to_string()
+                << (part->level_static[static_cast<std::size_t>(k)]
+                        ? "  (statically steady)"
+                        : "")
+                << "\n";
+    std::cout << "\n-- partition --\n" << part->to_string(names) << "\n";
+
+    std::string tu = vdep::codegen::emit_c_partitioned_range_kernel(
+        loop->nest(), plan, *part, "vdep_range_kernel", inject_fault);
+    vdep::analysis::VerifierReport rep =
+        vdep::analysis::verify_partitioned_kernel(loop->nest(), tn.nest,
+                                                  plan.num_doall, *part, tu);
+
+    std::cout << "\n-- kernel verifier --\n" << rep.to_string() << "\n";
+    if (emit) std::cout << "\n=== partitioned C ===\n" << tu;
+    return rep.ok ? 0 : 1;
+  } catch (const vdep::Error& e) {
+    std::cerr << "pipeline error: " << e.what() << "\n";
+    return 2;
+  }
+}
