@@ -35,6 +35,11 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
       throw PreconditionError(
           "execute_batch: only ExecMode::kStreaming is supported (the batch "
           "scheduler is the streaming runtime)");
+    if (policy.backend() == ExecBackend::kInspector)
+      throw UnsupportedError(
+          "execute_batch: the inspector backend partitions per store "
+          "(classes depend on index-array contents), which the shared batch "
+          "scheduler cannot express; execute each request individually");
 
     std::size_t threads =
         policy.threads() ? policy.threads() : (pool ? pool->size() : 0);
@@ -58,6 +63,15 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
 
     for (std::size_t k = 0; k < requests.size(); ++k) {
       const BatchRequest& req = requests[k];
+
+      if (req.loop.nest().has_indirection()) {
+        ApiError err{ErrorKind::kUnsupported,
+                     "execute_batch: request " + std::to_string(k) +
+                         ": indirect subscripts need the runtime inspector "
+                         "(single execute with ExecBackend::kInspector)"};
+        err.index = static_cast<int>(k);
+        return err;
+      }
 
       exec::ArrayStore* store = req.store;
       if (!store) {

@@ -8,6 +8,8 @@
 #include "codegen/rewrite.h"
 #include "exec/array_store.h"
 #include "exec/interpreter.h"
+#include "inspect/executor.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/stream_executor.h"
 #include "support/error.h"
@@ -172,7 +174,71 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
     // sites inside memoized artifacts, which correctly report ~0 on hits.
     obs::PhaseScope phases;
     auto t0 = std::chrono::steady_clock::now();
-    if (policy.mode() == ExecMode::kStreaming) {
+    // Non-affine nests have no provable static plan: the inspector is the
+    // only backend that can run them, whatever the policy says. Affine
+    // nests take the inspector path only on explicit request.
+    const bool non_affine = !art_->analysis().affine;
+    const bool use_inspector =
+        non_affine || policy.backend() == ExecBackend::kInspector;
+    if (use_inspector) {
+      if (policy.mode() != ExecMode::kStreaming)
+        throw UnsupportedError(
+            non_affine
+                ? "materialized mode cannot run indirect subscripts; use "
+                  "streaming (the inspector backend)"
+                : "ExecBackend::kInspector is a streaming backend");
+      std::optional<inspect::DynamicPartition> part;
+      {
+        obs::ScopedSpan span(obs::EventKind::kInspect, policy.trace(),
+                             obs::Phase::kInspect);
+        part.emplace(inspect::inspect(*nest_, store));
+        if (span.tracing()) {
+          const inspect::InspectStats& st = part->stats();
+          span.set_arg(0, st.iterations);
+          span.set_arg(1, st.classes);
+          span.set_arg(2, st.chains);
+          span.set_arg(3, st.max_component);
+          span.set_arg(4, st.dependent_iterations);
+          span.set_arg(5, st.written_cells);
+        }
+      }
+      const inspect::InspectStats& st = part->stats();
+      if (policy.metrics() && obs::MetricsRegistry::enabled()) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+        reg.counter("vdep_inspector_runs_total").inc();
+        reg.histogram("vdep_inspector_classes", obs::exp_buckets(1, 4.0, 16),
+                      "dynamic partition classes per inspection")
+            .observe(st.classes);
+        reg.histogram("vdep_inspector_component_size",
+                      obs::exp_buckets(1, 4.0, 16),
+                      "largest dependence component per inspection")
+            .observe(st.max_component);
+      }
+      inspect::InspectorExecOptions io;
+      io.num_threads =
+          policy.threads() ? policy.threads() : (pool ? pool->size() : 0);
+      io.grain = policy.grain();
+      io.force_interpreter = policy.interpreter_only();
+      io.trace = policy.trace();
+      io.metrics = policy.metrics();
+      inspect::InspectorExecutor ex(*nest_, *part, io);
+      runtime::RuntimeStats rs;
+      {
+        obs::PhaseTimer run_timer(obs::Phase::kExec);
+        rs = pool ? ex.run(store, *pool) : ex.run(store);
+      }
+      rep.iterations = rs.total_iterations();
+      rep.tasks = rs.total_tasks();
+      rep.steals = rs.total_steals();
+      rep.inner_splits = rs.total_inner_splits();
+      rep.failed_steals = rs.total_failed_steals();
+      rep.idle_ns = rs.total_idle_ns();
+      rep.inspector = true;
+      rep.inspector_classes = st.classes;
+      rep.inspector_chains = st.chains;
+      rep.inspector_max_component = st.max_component;
+      rep.inspector_dependent = st.dependent_iterations;
+    } else if (policy.mode() == ExecMode::kStreaming) {
       runtime::StreamOptions so;
       so.num_threads =
           policy.threads() ? policy.threads() : (pool ? pool->size() : 0);
@@ -232,6 +298,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
     rep.analyze_ns = phases.ns(obs::Phase::kAnalyze);
     rep.codegen_ns = phases.ns(obs::Phase::kCodegen);
     rep.jit_compile_ns = phases.ns(obs::Phase::kJitCompile);
+    rep.inspect_ns = phases.ns(obs::Phase::kInspect);
     rep.exec_ns = phases.ns(obs::Phase::kExec);
     rep.wall_ns = elapsed_ns(t0);
     if (policy.digest()) rep.checksum = store.checksum();
@@ -266,8 +333,17 @@ std::string CompiledLoop::summary() const {
   os << "-- structure --\n";
   os << "fingerprint " << std::hex << fingerprint().hash << std::dec
      << ", depth " << nest_->depth() << ", PDM rank " << a.rank
-     << (a.all_uniform ? " [uniform]" : " [variable]") << "\n";
+     << (a.affine ? (a.all_uniform ? " [uniform]" : " [variable]")
+                  : " [non-affine]")
+     << "\n";
   os << "-- original nest --\n" << nest_->to_string();
+  if (!a.affine) {
+    os << "-- dependence analysis --\n";
+    os << "indirect subscripts: dependences depend on index-array contents;\n"
+       << "no static PDM exists. Execution partitions at runtime via the\n"
+       << "inspector backend (ExecBackend::kInspector).\n";
+    return os.str();
+  }
   os << "-- dependence analysis --\n";
   if (a.pdm.pairs().empty()) {
     os << "no dependent reference pairs\n";

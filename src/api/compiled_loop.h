@@ -79,6 +79,11 @@ enum class ExecBackend {
   kInterpreter,  ///< exact tree-walking interpreter, always
   kJit,          ///< dlopen-ed native kernel; falls back to kCompiled when
                  ///< no toolchain is available or the plan is not JITable
+  kInspector,    ///< runtime inspector–executor: dependence components are
+                 ///< discovered at the given bounds/data (src/inspect/) and
+                 ///< run as dynamic partition classes. The only backend for
+                 ///< indirect subscripts (A[B[i]]); non-affine nests route
+                 ///< here automatically whatever the policy says
 };
 
 /// Builder-style execution policy (replaces core::Options::exec_mode and
@@ -139,6 +144,10 @@ struct LoopAnalysis {
   dep::Pdm pdm;
   int rank = 0;
   bool all_uniform = false;  ///< Corollary 5: classical uniform distances
+  /// False when the nest has indirect subscripts the PDM cannot model: the
+  /// pdm/plan fields degrade to a serial identity plan and execute() goes
+  /// through the runtime inspector regardless of ExecPolicy::backend.
+  bool affine = true;
 };
 
 /// Stage 2 — transformation plan plus its legality certificate
@@ -171,8 +180,17 @@ struct ExecReport {
   /// Batch runs only: batch start -> this request's first descriptor
   /// starts executing (time spent queued behind the rest of the batch).
   i64 queue_ns = 0;
+  /// Inspector-backend runs only (ExecBackend::kInspector or the automatic
+  /// non-affine fallback): inspection wall time and the shape of the
+  /// discovered dynamic partition.
+  i64 inspect_ns = 0;
+  i64 inspector_classes = 0;        ///< partition classes (all components)
+  i64 inspector_chains = 0;         ///< components with >= 2 iterations
+  i64 inspector_max_component = 0;  ///< largest component size
+  i64 inspector_dependent = 0;      ///< iterations in >= 2 components
   i64 checksum = 0;      ///< final store digest
   bool verified = false; ///< true when produced by check()
+  bool inspector = false; ///< true when the inspector–executor ran the loop
   bool jit = false;      ///< true when a native kernel ran the bodies
   /// True when the native kernel was the verified steady-state partitioned
   /// variant (analysis::KernelVerifier admitted it); false for the clamped

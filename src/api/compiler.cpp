@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "dsl/parser.h"
+#include "intlin/mat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -31,6 +32,30 @@ std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
   // structure only, so the artifact is valid for this fingerprint at any
   // bounds.
   count_compile("vdep_compiles_total");
+  if (nest.has_indirection()) {
+    // Non-affine nest: the PDM is undefined (subscripts depend on runtime
+    // array contents), so there is no static plan to derive. Record an
+    // identity "plan" carrying zero DOALL loops and one class; execution
+    // routes through the runtime inspector, which partitions per-execute
+    // from the actual index-array contents.
+    obs::ScopedSpan span(obs::EventKind::kAnalyze, opts_.trace(),
+                         obs::Phase::kAnalyze);
+    LoopAnalysis analysis;
+    analysis.affine = false;
+    analysis.rank = 0;
+    analysis.all_uniform = false;
+    LoopPlan plan;
+    plan.transform.depth = nest.depth();
+    plan.transform.t = intlin::Mat::identity(nest.depth());
+    plan.transform.transformed_pdm = intlin::Mat(0, nest.depth());
+    plan.transform.num_doall = 0;
+    plan.transform.partition_classes = 1;
+    plan.doall_loops = 0;
+    plan.partition_classes = 1;
+    plan.legal = true;
+    return cache_->insert(std::make_shared<PlanArtifact>(
+        std::move(fp), std::move(analysis), std::move(plan)));
+  }
   LoopAnalysis analysis;
   {
     obs::ScopedSpan span(obs::EventKind::kAnalyze, opts_.trace(),

@@ -59,7 +59,22 @@ Fingerprint structural_fingerprint(const loopir::LoopNest& nest) {
         key += is_write ? 'W' : 'R';
         key += 'a';
         append_int(&key, ordinal_of(ref.array));
-        for (const loopir::AffineExpr& s : ref.subscripts) {
+        for (std::size_t k = 0; k < ref.subscripts.size(); ++k) {
+          // Indirect slots serialize as the index array's ordinal plus the
+          // affine position into it — a different key space ('I' vs '[')
+          // from affine slots, so A[B[i]] never collides with any affine
+          // structure.
+          if (k < ref.indirect.size() && ref.indirect[k].has_value()) {
+            const loopir::IndirectSubscript& ind = *ref.indirect[k];
+            key += 'I';
+            append_int(&key, ordinal_of(ind.array));
+            for (intlin::i64 c : ind.pos.coeffs()) append_int(&key, c);
+            key += ':';
+            append_int(&key, ind.pos.constant_term());
+            key += ']';
+            continue;
+          }
+          const loopir::AffineExpr& s = ref.subscripts[k];
           key += '[';
           for (intlin::i64 c : s.coeffs()) append_int(&key, c);
           key += ':';
@@ -77,6 +92,25 @@ Fingerprint structural_fingerprint(const loopir::LoopNest& nest) {
 
 namespace {
 
+void render_subscripts(const loopir::ArrayRef& ref, std::string* key) {
+  for (std::size_t k = 0; k < ref.subscripts.size(); ++k) {
+    if (k < ref.indirect.size() && ref.indirect[k].has_value()) {
+      const loopir::IndirectSubscript& ind = *ref.indirect[k];
+      *key += 'I';
+      *key += ind.array;
+      *key += ';';
+      for (intlin::i64 c : ind.pos.coeffs()) append_int(key, c);
+      *key += ':';
+      append_int(key, ind.pos.constant_term());
+      continue;
+    }
+    const loopir::AffineExpr& s = ref.subscripts[k];
+    for (intlin::i64 c : s.coeffs()) append_int(key, c);
+    *key += ':';
+    append_int(key, s.constant_term());
+  }
+}
+
 void render_expr(const loopir::Expr& e, std::string* key) {
   using K = loopir::Expr::Kind;
   switch (e.kind()) {
@@ -92,11 +126,7 @@ void render_expr(const loopir::Expr& e, std::string* key) {
       *key += 'r';
       *key += e.ref().array;
       *key += ';';  // names must not run into the digits that follow
-      for (const loopir::AffineExpr& s : e.ref().subscripts) {
-        for (intlin::i64 c : s.coeffs()) append_int(key, c);
-        *key += ':';
-        append_int(key, s.constant_term());
-      }
+      render_subscripts(e.ref(), key);
       return;
     case K::kAdd:
     case K::kSub:
@@ -154,11 +184,7 @@ std::string bounds_render(const loopir::LoopNest& nest) {
     key += 'S';
     key += st.lhs.array;
     key += ';';
-    for (const loopir::AffineExpr& s : st.lhs.subscripts) {
-      for (intlin::i64 c : s.coeffs()) put(c);
-      key += ':';
-      put(s.constant_term());
-    }
+    render_subscripts(st.lhs, &key);
     key += '=';
     render_expr(*st.rhs, &key);
   }

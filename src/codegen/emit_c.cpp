@@ -357,6 +357,9 @@ void emit_clamped_path(std::ostringstream& os, const LoopNest& nest,
 }  // namespace
 
 std::string emit_c_original(const LoopNest& nest, const EmitOptions& opts) {
+  VDEP_REQUIRE(!nest.has_indirection(),
+               "C emission requires affine subscripts; indirect nests run "
+               "through the inspector/interpreter path");
   std::ostringstream os;
   os << "/* Generated by vdep: original sequential nest. */\n";
   emit_prelude(os);

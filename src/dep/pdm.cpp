@@ -40,6 +40,10 @@ std::string Pdm::to_string() const {
 }
 
 Pdm compute_pdm(const loopir::LoopNest& nest) {
+  if (nest.has_indirection())
+    throw UnsupportedError(
+        "PDM analysis requires affine subscripts; indirect references "
+        "(A[B[i]]) need the runtime inspector (ExecBackend::kInspector)");
   std::vector<DepPair> pairs = dependent_pairs(nest);
   Mat stacked(0, nest.depth());
   for (const DepPair& p : pairs) {

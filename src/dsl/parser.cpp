@@ -386,8 +386,7 @@ class Lowerer {
     for (const PAssign& a : prog_.body) {
       loopir::Assign out;
       out.lhs.array = a.array;
-      for (const PExpr& s : a.subscripts)
-        out.lhs.subscripts.push_back(to_affine(s));
+      lower_subscripts(a.subscripts, &out.lhs);
       out.rhs = to_expr(a.rhs);
       body.push_back(std::move(out));
       note_array(a.array, static_cast<int>(a.subscripts.size()), a.line, a.col);
@@ -405,6 +404,35 @@ class Lowerer {
       throw ParseError("array " + name + " used with inconsistent arity", line,
                        col);
     arity_[name] = arity;
+  }
+
+  /// Lowers a reference's subscript list, accepting one level of
+  /// indirection: a subscript that is *exactly* an index-array read
+  /// (`A[B[i]]`) becomes an IndirectSubscript; everything else must be
+  /// affine. The pos inside the read goes through to_affine, which rejects
+  /// further reads — so exactly one level, by construction.
+  void lower_subscripts(const std::vector<PExpr>& subs, loopir::ArrayRef* r) {
+    bool any_indirect = false;
+    for (const PExpr& s : subs)
+      if (s.kind == PExpr::Kind::kRead) any_indirect = true;
+    for (const PExpr& s : subs) {
+      if (s.kind == PExpr::Kind::kRead) {
+        if (s.subscripts.size() != 1)
+          throw ParseError("index array " + s.name +
+                               " must be one-dimensional",
+                           s.line, s.col);
+        loopir::IndirectSubscript ind{s.name, to_affine(s.subscripts[0])};
+        note_array(s.name, 1, s.line, s.col);
+        // Placeholder affine entry keeps the slot count aligned; consumers
+        // gate on indirect[k] before touching it.
+        r->subscripts.push_back(AffineExpr::constant(depth_, 0));
+        r->indirect.emplace_back(std::move(ind));
+      } else {
+        r->subscripts.push_back(to_affine(s));
+        r->indirect.emplace_back(std::nullopt);
+      }
+    }
+    if (!any_indirect) r->indirect.clear();
   }
 
   AffineExpr to_affine(const PExpr& e) {
@@ -432,8 +460,11 @@ class Lowerer {
                          e.col);
       }
       case PExpr::Kind::kRead:
-        throw ParseError("array reference not allowed in subscript or bound",
-                         e.line, e.col);
+        throw ParseError(
+            "array reference not allowed here: bounds are affine, and a "
+            "subscript may be exactly one index-array read (A[B[i]]), not "
+            "nested or mixed into arithmetic",
+            e.line, e.col);
     }
     throw ParseError("unreachable", e.line, e.col);
   }
@@ -460,7 +491,7 @@ class Lowerer {
       case PExpr::Kind::kRead: {
         loopir::ArrayRef r;
         r.array = e.name;
-        for (const PExpr& s : e.subscripts) r.subscripts.push_back(to_affine(s));
+        lower_subscripts(e.subscripts, &r);
         note_array(e.name, static_cast<int>(e.subscripts.size()), e.line, e.col);
         return Expr::read(std::move(r));
       }
@@ -492,6 +523,29 @@ class Lowerer {
     }
     for (const loopir::ArrayRef& r : reads) refs[r.array].push_back(&r);
 
+    // Index-array positions: B in A[B[i]] is sized from the affine pos
+    // range over the box, like any affine subscript. An index array used
+    // only as an index has no ArrayRef of its own; give it an (empty)
+    // refs entry so the loop below emits its declaration.
+    std::map<std::string, std::vector<const AffineExpr*>> index_pos;
+    for (const auto& [name, list] : refs)
+      for (const loopir::ArrayRef* r : list)
+        for (const auto& ind : r->indirect)
+          if (ind) index_pos[ind->array].push_back(&ind->pos);
+    for (const auto& [name, list] : index_pos) refs.try_emplace(name);
+
+    // Min/max of one affine expression over the iteration box.
+    auto extremes = [&](const AffineExpr& s) {
+      i64 lo = s.constant_term(), hi = s.constant_term();
+      for (int k = 0; k < depth_; ++k) {
+        i64 c = s.coeff(k);
+        auto [bl, bh] = box[static_cast<std::size_t>(k)];
+        lo = checked::add(lo, checked::mul(c, c >= 0 ? bl : bh));
+        hi = checked::add(hi, checked::mul(c, c >= 0 ? bh : bl));
+      }
+      return std::pair<i64, i64>{lo, hi};
+    };
+
     std::vector<loopir::ArrayDecl> out;
     for (const auto& [name, list] : refs) {
       auto declared = prog_.declared_arrays.find(name);
@@ -501,6 +555,17 @@ class Lowerer {
         out.push_back({name, declared->second});
         continue;
       }
+      // A dimension fed through an index array has whatever extent the
+      // array's runtime values span — nothing to infer from the source.
+      for (const loopir::ArrayRef* r : list)
+        for (const auto& ind : r->indirect)
+          if (ind)
+            throw ParseError(
+                "array " + name +
+                    " is subscripted through an index array; its extent "
+                    "cannot be inferred — declare it with 'array " +
+                    name + "[lo:hi]'",
+                1);
       // Infer per-dimension extremes of the affine subscripts over the box.
       int arity = arity_.at(name);
       std::vector<std::pair<i64, i64>> dims(
@@ -508,17 +573,19 @@ class Lowerer {
           {std::numeric_limits<i64>::max(), std::numeric_limits<i64>::min()});
       for (const loopir::ArrayRef* r : list) {
         for (int d = 0; d < arity; ++d) {
-          const AffineExpr& s = r->subscripts[static_cast<std::size_t>(d)];
-          i64 lo = s.constant_term(), hi = s.constant_term();
-          for (int k = 0; k < depth_; ++k) {
-            i64 c = s.coeff(k);
-            auto [bl, bh] = box[static_cast<std::size_t>(k)];
-            lo = checked::add(lo, checked::mul(c, c >= 0 ? bl : bh));
-            hi = checked::add(hi, checked::mul(c, c >= 0 ? bh : bl));
-          }
+          auto [lo, hi] = extremes(r->subscripts[static_cast<std::size_t>(d)]);
           auto& dim = dims[static_cast<std::size_t>(d)];
           dim.first = std::min(dim.first, lo);
           dim.second = std::max(dim.second, hi);
+        }
+      }
+      // Index-array uses widen (or, for a pure index array, establish)
+      // the single dimension.
+      if (auto it = index_pos.find(name); it != index_pos.end()) {
+        for (const AffineExpr* s : it->second) {
+          auto [lo, hi] = extremes(*s);
+          dims[0].first = std::min(dims[0].first, lo);
+          dims[0].second = std::max(dims[0].second, hi);
         }
       }
       out.push_back({name, std::move(dims)});

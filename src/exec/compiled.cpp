@@ -8,6 +8,10 @@ namespace vdep::exec {
 
 CompiledKernel::CompiledKernel(const loopir::LoopNest& nest, ArrayStore& store)
     : nest_(nest), store_(&store) {
+  if (nest.has_indirection())
+    throw UnsupportedError(
+        "CompiledKernel requires affine subscripts; indirect references run "
+        "through the interpreter");
   // Iteration box for the one-time subscript range proof.
   poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(nest);
   box_.clear();

@@ -9,6 +9,12 @@
 
 namespace vdep::exec {
 
+/// Element coordinates touched by `ref` at iteration `iter`. Unlike
+/// ArrayRef::element_at this resolves indirect subscripts (A[B[i]]) by
+/// reading the index array from `store`.
+Vec element_coords(const loopir::ArrayRef& ref, const Vec& iter,
+                   const ArrayStore& store);
+
 /// Evaluates the rhs expression tree at iteration `iter`.
 i64 eval_expr(const loopir::Expr& e, const Vec& iter, const ArrayStore& store);
 

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "exec/interpreter.h"
 #include "support/error.h"
 
 namespace vdep::exec {
 
-Isdg build_isdg(const loopir::LoopNest& nest) {
+Isdg Isdg::build(const loopir::LoopNest& nest, const ArrayStore* store) {
   Isdg g;
   g.nodes_ = nest.iterations();
   for (std::size_t k = 0; k < g.nodes_.size(); ++k)
@@ -21,9 +22,12 @@ Isdg build_isdg(const loopir::LoopNest& nest) {
   std::map<std::pair<std::string, Vec>, std::vector<Touch>> cells;
   auto accesses = nest.accesses();
   for (std::size_t k = 0; k < g.nodes_.size(); ++k)
-    for (const auto& a : accesses)
-      cells[{a.ref.array, a.ref.element_at(g.nodes_[k])}].push_back(
+    for (const auto& a : accesses) {
+      Vec cell = store ? element_coords(a.ref, g.nodes_[k], *store)
+                       : a.ref.element_at(g.nodes_[k]);
+      cells[{a.ref.array, std::move(cell)}].push_back(
           {static_cast<int>(k), a.is_write});
+    }
 
   std::set<std::tuple<int, int, dep::DepKind>> dedup;
   for (const auto& [cell, touches] : cells) {
@@ -45,6 +49,17 @@ Isdg build_isdg(const loopir::LoopNest& nest) {
     }
   }
   return g;
+}
+
+Isdg build_isdg(const loopir::LoopNest& nest) {
+  VDEP_REQUIRE(!nest.has_indirection(),
+               "build_isdg without a store on an indirect nest; pass the "
+               "ArrayStore holding the index arrays");
+  return Isdg::build(nest, nullptr);
+}
+
+Isdg build_isdg(const loopir::LoopNest& nest, const ArrayStore& store) {
+  return Isdg::build(nest, &store);
 }
 
 i64 Isdg::dependent_node_count() const {
@@ -191,10 +206,21 @@ std::string Isdg::to_dot(std::size_t max_nodes) const {
                          std::to_string(x < 0 ? -x : x);
     return s;
   };
+  // The figures distinguish solid (dependent) from hollow (independent)
+  // iterations; earlier revisions rendered every node identically, so the
+  // DOT output disagreed with to_ascii / dependent_node_count().
+  std::set<Vec> dependent;
+  for (const IsdgEdge& e : edges_) {
+    dependent.insert(e.src);
+    dependent.insert(e.dst);
+  }
   for (std::size_t k = 0; k < shown; ++k) {
     const Vec& v = nodes_[k];
     os << "  " << name(v) << " [pos=\"" << v[0] << ","
-       << (v.size() > 1 ? v[1] : 0) << "!\"];\n";
+       << (v.size() > 1 ? v[1] : 0) << "!\" "
+       << (dependent.count(v) ? "style=filled color=black"
+                              : "style=solid color=gray70")
+       << "];\n";
   }
   for (const IsdgEdge& e : edges_) {
     if (static_cast<std::size_t>(index_.at(e.src)) >= shown ||

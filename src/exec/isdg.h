@@ -52,7 +52,11 @@ class Isdg {
   /// for a legal partitioning — Figure 5's separated sub-spaces).
   i64 cross_item_edges(const Schedule& sched) const;
 
-  /// Graphviz rendering (small spaces).
+  /// Graphviz rendering (small spaces). Dependent nodes (incident to at
+  /// least one edge — the figures' solid nodes) render `style=filled`;
+  /// independent iterations render hollow gray, so the DOT output carries
+  /// the same dependent/independent distinction as to_ascii and
+  /// dependent_node_count().
   std::string to_dot(std::size_t max_nodes = 4000) const;
 
   /// Terminal rendering of a 2-D iteration space in the style of the
@@ -62,14 +66,22 @@ class Isdg {
   std::string to_ascii(const Schedule* sched = nullptr) const;
 
   friend Isdg build_isdg(const loopir::LoopNest& nest);
+  friend Isdg build_isdg(const loopir::LoopNest& nest, const ArrayStore& store);
 
  private:
+  static Isdg build(const loopir::LoopNest& nest, const ArrayStore* store);
+
   std::vector<Vec> nodes_;
   std::vector<IsdgEdge> edges_;
   std::map<Vec, int> index_;
 };
 
-/// Brute-force exact ISDG of a (bounded) nest.
+/// Brute-force exact ISDG of a (bounded) affine nest.
 Isdg build_isdg(const loopir::LoopNest& nest);
+
+/// Brute-force exact ISDG resolving indirect subscripts (A[B[i]]) against
+/// the index-array contents in `store` — the ground truth the hash
+/// inspector (src/inspect/) is validated against.
+Isdg build_isdg(const loopir::LoopNest& nest, const ArrayStore& store);
 
 }  // namespace vdep::exec

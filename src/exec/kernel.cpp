@@ -7,6 +7,10 @@
 namespace vdep::exec {
 
 void prove_subscript_ranges(const loopir::LoopNest& nest) {
+  if (nest.has_indirection())
+    throw UnsupportedError(
+        "subscript ranges of indirect references (A[B[i]]) cannot be proven "
+        "statically; the inspector validates them at runtime");
   poly::ConstraintSystem cs = poly::ConstraintSystem::from_nest(nest);
   std::vector<std::pair<i64, i64>> box;
   for (int k = 0; k < nest.depth(); ++k) {

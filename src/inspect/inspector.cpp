@@ -1,0 +1,190 @@
+#include "inspect/inspector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.h"
+
+namespace vdep::inspect {
+
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One body access, flattened for the per-iteration hot loop: global cell
+/// ids are base + row-major offset, with indirect slots resolved through a
+/// pointer at the index array's raw buffer (no string lookups, no Vec
+/// allocation per access).
+struct FlatAccess {
+  bool write = false;
+  const loopir::ArrayDecl* decl = nullptr;
+  std::uint64_t base = 0;
+
+  struct Sub {
+    const loopir::AffineExpr* aff = nullptr;  ///< affine slot
+    const loopir::AffineExpr* pos = nullptr;  ///< indirect: index position
+    const std::vector<i64>* idx = nullptr;    ///< indirect: index buffer
+    i64 idx_lo = 0;                           ///< indirect: declared lo
+  };
+  std::vector<Sub> subs;
+};
+
+std::uint64_t cell_id(const FlatAccess& a, const Vec& iter) {
+  i64 off = 0;
+  for (std::size_t d = 0; d < a.subs.size(); ++d) {
+    const FlatAccess::Sub& s = a.subs[d];
+    i64 v;
+    if (s.idx) {
+      i64 p = s.pos->eval(iter);
+      i64 slot = p - s.idx_lo;
+      VDEP_REQUIRE(slot >= 0 && slot < static_cast<i64>(s.idx->size()),
+                   "index-array position out of declared range");
+      v = (*s.idx)[static_cast<std::size_t>(slot)];
+    } else {
+      v = s.aff->eval(iter);
+    }
+    auto [lo, hi] = a.decl->dims[d];
+    VDEP_REQUIRE(v >= lo && v <= hi,
+                 "array " + a.decl->name + " subscript out of declared range");
+    off = checked::add(checked::mul(off, hi - lo + 1), v - lo);
+  }
+  return a.base + static_cast<std::uint64_t>(off);
+}
+
+i64 uf_find(std::vector<i64>& parent, i64 x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    // Path halving keeps amortized cost near-constant without recursion.
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+void DynamicPartition::coords_of(i64 it, Vec& out) const {
+  out.resize(static_cast<std::size_t>(depth_));
+  const i64* src = coords_.data() + it * depth_;
+  for (int d = 0; d < depth_; ++d) out[static_cast<std::size_t>(d)] = src[d];
+}
+
+DynamicPartition inspect(const loopir::LoopNest& nest,
+                         const exec::ArrayStore& store) {
+  const i64 t0 = now_ns();
+  const int depth = nest.depth();
+
+  // Flatten the body's accesses once; `accesses` keeps the ArrayRefs the
+  // FlatAccess pointers borrow from alive for the whole inspection.
+  const std::vector<loopir::LoopNest::Access> accesses = nest.accesses();
+  std::vector<FlatAccess> flat;
+  flat.reserve(accesses.size());
+  std::uint64_t base = 0;
+  std::unordered_map<std::string, std::uint64_t> base_of;
+  for (const loopir::ArrayDecl& d : nest.arrays()) {
+    base_of[d.name] = base;
+    base += static_cast<std::uint64_t>(d.element_count());
+  }
+  for (const auto& a : accesses) {
+    FlatAccess fa;
+    fa.write = a.is_write;
+    fa.decl = &nest.array(a.ref.array);
+    fa.base = base_of.at(a.ref.array);
+    fa.subs.resize(a.ref.subscripts.size());
+    for (std::size_t k = 0; k < a.ref.subscripts.size(); ++k) {
+      if (k < a.ref.indirect.size() && a.ref.indirect[k].has_value()) {
+        const loopir::IndirectSubscript& ind = *a.ref.indirect[k];
+        fa.subs[k].pos = &ind.pos;
+        fa.subs[k].idx = &store.raw(ind.array);
+        fa.subs[k].idx_lo = nest.array(ind.array).dims.front().first;
+      } else {
+        fa.subs[k].aff = &a.ref.subscripts[k];
+      }
+    }
+    flat.push_back(std::move(fa));
+  }
+
+  // Pass 1: materialize the iteration coordinates (the executor replays
+  // them later) and collect the set of written cells.
+  DynamicPartition part;
+  part.depth_ = depth;
+  std::unordered_set<std::uint64_t> written;
+  nest.for_each_iteration([&](const Vec& iter) {
+    part.coords_.insert(part.coords_.end(), iter.begin(), iter.end());
+    for (const FlatAccess& fa : flat)
+      if (fa.write) written.insert(cell_id(fa, iter));
+  });
+  const i64 n = depth > 0 ? static_cast<i64>(part.coords_.size()) / depth : 0;
+
+  // Pass 2: union every toucher of a written cell with that cell's first
+  // toucher. Read-only cells induce no dependence and are skipped, so the
+  // map stays proportional to the written footprint.
+  std::vector<i64> parent(static_cast<std::size_t>(n));
+  for (i64 k = 0; k < n; ++k) parent[static_cast<std::size_t>(k)] = k;
+  std::unordered_map<std::uint64_t, i64> first_toucher;
+  first_toucher.reserve(written.size());
+  Vec iter(static_cast<std::size_t>(depth), 0);
+  for (i64 it = 0; it < n; ++it) {
+    part.coords_of(it, iter);
+    for (const FlatAccess& fa : flat) {
+      std::uint64_t cell = cell_id(fa, iter);
+      if (!written.count(cell)) continue;
+      auto [pos, fresh] = first_toucher.emplace(cell, it);
+      if (fresh) continue;
+      i64 a = uf_find(parent, pos->second);
+      i64 b = uf_find(parent, it);
+      if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] =
+          std::min(a, b);
+    }
+  }
+
+  // Classes: one per component (singletons included), numbered by the
+  // lexicographic rank of the first member so class order is deterministic.
+  part.class_of_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<i64> root_class(static_cast<std::size_t>(n), -1);
+  i64 num_classes = 0;
+  for (i64 it = 0; it < n; ++it) {
+    i64 r = uf_find(parent, it);
+    if (root_class[static_cast<std::size_t>(r)] < 0)
+      root_class[static_cast<std::size_t>(r)] = num_classes++;
+    part.class_of_[static_cast<std::size_t>(it)] =
+        root_class[static_cast<std::size_t>(r)];
+  }
+
+  // CSR (counting sort by class; members stay in ascending rank order).
+  part.offsets_.assign(static_cast<std::size_t>(num_classes) + 1, 0);
+  for (i64 c : part.class_of_) ++part.offsets_[static_cast<std::size_t>(c) + 1];
+  for (std::size_t k = 1; k < part.offsets_.size(); ++k)
+    part.offsets_[k] += part.offsets_[k - 1];
+  part.members_.resize(static_cast<std::size_t>(n));
+  std::vector<i64> cursor(part.offsets_.begin(), part.offsets_.end() - 1);
+  for (i64 it = 0; it < n; ++it) {
+    i64 c = part.class_of_[static_cast<std::size_t>(it)];
+    part.members_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(c)]++)] = it;
+  }
+
+  InspectStats& st = part.stats_;
+  st.iterations = n;
+  st.classes = num_classes;
+  st.written_cells = static_cast<i64>(written.size());
+  for (i64 c = 0; c < num_classes; ++c) {
+    i64 sz = part.class_size(c);
+    st.max_component = std::max(st.max_component, sz);
+    if (sz >= 2) {
+      ++st.chains;
+      st.dependent_iterations += sz;
+    }
+  }
+  st.inspect_ns = now_ns() - t0;
+  return part;
+}
+
+}  // namespace vdep::inspect

@@ -6,7 +6,16 @@
 
 namespace vdep::loopir {
 
+bool ArrayRef::has_indirection() const {
+  for (const auto& ind : indirect)
+    if (ind.has_value()) return true;
+  return false;
+}
+
 Vec ArrayRef::element_at(const Vec& iter) const {
+  VDEP_REQUIRE(!has_indirection(),
+               "element_at on an indirect reference; indirect subscripts "
+               "need store contents (exec::element_coords)");
   Vec e;
   e.reserve(subscripts.size());
   for (const AffineExpr& s : subscripts) e.push_back(s.eval(iter));
@@ -15,6 +24,9 @@ Vec ArrayRef::element_at(const Vec& iter) const {
 
 intlin::Mat ArrayRef::linear_part() const {
   VDEP_REQUIRE(!subscripts.empty(), "array reference with no subscripts");
+  VDEP_REQUIRE(!has_indirection(),
+               "linear_part on an indirect reference; the static pipeline "
+               "only handles affine subscripts");
   intlin::Mat f(arity(), subscripts.front().depth());
   for (int r = 0; r < arity(); ++r)
     for (int c = 0; c < f.cols(); ++c)
@@ -23,6 +35,9 @@ intlin::Mat ArrayRef::linear_part() const {
 }
 
 Vec ArrayRef::constant_part() const {
+  VDEP_REQUIRE(!has_indirection(),
+               "constant_part on an indirect reference; the static pipeline "
+               "only handles affine subscripts");
   Vec f0;
   f0.reserve(subscripts.size());
   for (const AffineExpr& s : subscripts) f0.push_back(s.constant_term());
@@ -34,6 +49,13 @@ ArrayRef ArrayRef::substituted(const intlin::Mat& t) const {
   out.array = array;
   out.subscripts.reserve(subscripts.size());
   for (const AffineExpr& s : subscripts) out.subscripts.push_back(s.substitute(t));
+  out.indirect.reserve(indirect.size());
+  for (const auto& ind : indirect) {
+    if (ind.has_value())
+      out.indirect.push_back(IndirectSubscript{ind->array, ind->pos.substitute(t)});
+    else
+      out.indirect.push_back(std::nullopt);
+  }
   return out;
 }
 
@@ -42,7 +64,10 @@ std::string ArrayRef::to_string(const std::vector<std::string>& names) const {
   os << array << "[";
   for (std::size_t k = 0; k < subscripts.size(); ++k) {
     if (k) os << ", ";
-    os << subscripts[k].to_string(names);
+    if (k < indirect.size() && indirect[k].has_value())
+      os << indirect[k]->array << "[" << indirect[k]->pos.to_string(names) << "]";
+    else
+      os << subscripts[k].to_string(names);
   }
   os << "]";
   return os.str();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,21 +17,43 @@ namespace vdep::loopir {
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
-/// A reference A[s_1, ..., s_m] with affine subscripts s_k over the loop
-/// indices.
+/// One level of subscript indirection: the subscript value is
+/// `index_array[pos]` where `pos` is affine over the loop indices and the
+/// index array is 1-D and read-only for the lifetime of the nest. This is
+/// the minimal representation needed for `A[B[i]]` gather/scatter nests,
+/// which the static PDM analysis rejects and the inspector path handles.
+struct IndirectSubscript {
+  std::string array;
+  AffineExpr pos;
+
+  bool operator==(const IndirectSubscript& o) const = default;
+};
+
+/// A reference A[s_1, ..., s_m]. Each subscript s_k is either affine over
+/// the loop indices (the common case the whole static pipeline handles) or
+/// indirect (`indirect[k]` engaged; the affine entry is a placeholder and
+/// must not be consulted).
 struct ArrayRef {
   std::string array;
   std::vector<AffineExpr> subscripts;
+  /// Per-slot indirection. Empty for fully-affine references; otherwise the
+  /// same length as `subscripts` with engaged optionals at indirect slots.
+  std::vector<std::optional<IndirectSubscript>> indirect;
 
   int arity() const { return static_cast<int>(subscripts.size()); }
-  /// Element coordinates touched at iteration `iter`.
+  /// True if any subscript slot goes through an index array.
+  bool has_indirection() const;
+  /// Element coordinates touched at iteration `iter`. Affine references
+  /// only — indirect slots need store contents (see exec::element_coords).
   Vec element_at(const Vec& iter) const;
   /// Linear part as an arity x depth matrix F (subscripts = F*i + f0).
+  /// Affine references only.
   intlin::Mat linear_part() const;
-  /// Constant part f0.
+  /// Constant part f0. Affine references only.
   Vec constant_part() const;
   /// Reference with every subscript rewritten over new indices j = i*T^{-1}
-  /// ... i.e. subscripts'(j) = subscripts(j*T).
+  /// ... i.e. subscripts'(j) = subscripts(j*T). Indirect positions are
+  /// rewritten the same way.
   ArrayRef substituted(const intlin::Mat& t) const;
 
   bool operator==(const ArrayRef& o) const = default;

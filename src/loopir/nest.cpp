@@ -80,6 +80,23 @@ std::vector<LoopNest::Access> LoopNest::accesses() const {
   return out;
 }
 
+bool LoopNest::has_indirection() const {
+  bool found = false;
+  for_each_access([&](const ArrayRef& ref, int, bool) {
+    if (ref.has_indirection()) found = true;
+  });
+  return found;
+}
+
+bool LoopNest::is_index_array(const std::string& name) const {
+  bool found = false;
+  for_each_access([&](const ArrayRef& ref, int, bool) {
+    for (const auto& ind : ref.indirect)
+      if (ind.has_value() && ind->array == name) found = true;
+  });
+  return found;
+}
+
 void LoopNest::validate() const {
   VDEP_REQUIRE(!levels_.empty(), "loop nest must have at least one level");
   for (int k = 0; k < depth(); ++k) {
@@ -107,7 +124,32 @@ void LoopNest::validate() const {
     for (const AffineExpr& s : ref.subscripts)
       VDEP_REQUIRE(s.depth() == depth(),
                    "subscript depth mismatch in array " + ref.array);
+    if (!ref.indirect.empty()) {
+      VDEP_REQUIRE(ref.indirect.size() == ref.subscripts.size(),
+                   "indirect-slot count mismatch in array " + ref.array);
+      for (const auto& ind : ref.indirect) {
+        if (!ind.has_value()) continue;
+        VDEP_REQUIRE(has_array(ind->array),
+                     "undeclared index array " + ind->array);
+        VDEP_REQUIRE(array(ind->array).arity() == 1,
+                     "index array " + ind->array + " must be 1-D");
+        VDEP_REQUIRE(ind->pos.depth() == depth(),
+                     "indirect position depth mismatch in array " + ref.array);
+      }
+    }
   });
+  // Index arrays must stay read-only: the inspector evaluates indirect
+  // subscripts against the *initial* store and the resulting partition is
+  // only valid for the whole run if no statement mutates an index array.
+  for (const Assign& a : body_) {
+    for_each_access([&](const ArrayRef& ref, int, bool) {
+      for (const auto& ind : ref.indirect)
+        if (ind.has_value())
+          VDEP_REQUIRE(ind->array != a.lhs.array,
+                       "index array " + ind->array +
+                           " must be read-only but is written by the nest");
+    });
+  }
 }
 
 void LoopNest::enumerate(int k, Vec& iter,

@@ -67,6 +67,12 @@ class LoopNest {
   };
   std::vector<Access> accesses() const;
 
+  /// True if any access in the body uses an indirect subscript (A[B[i]]).
+  /// Such nests bypass the static PDM pipeline and run via the inspector.
+  bool has_indirection() const;
+  /// True if `name` serves as an index array for some indirect subscript.
+  bool is_index_array(const std::string& name) const;
+
   /// Visits every access in the same order as accesses() — per statement
   /// the write, then its reads in pre-order — without materializing
   /// ArrayRef copies. fn(ref, statement, is_write).

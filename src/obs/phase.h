@@ -29,9 +29,10 @@ enum class Phase : std::uint8_t {
   kPlan,
   kCodegen,     ///< C emission (range-kernel TU or codegen() text)
   kJitCompile,  ///< cc subprocess + dlopen
+  kInspect,     ///< runtime inspection (dependence components + classes)
   kExec,        ///< workers executing descriptors
 };
-inline constexpr int kNumPhases = 7;
+inline constexpr int kNumPhases = 8;
 
 /// Steady-clock nanoseconds (shared by tracing and phase timing).
 i64 now_ns();

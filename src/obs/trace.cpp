@@ -24,6 +24,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kPartitionAnalyze: return "partition_analyze";
     case EventKind::kPartitionVerify: return "partition_verify";
     case EventKind::kExecutorBuild: return "executor_build";
+    case EventKind::kInspect: return "inspect";
     case EventKind::kLeafExec: return "leaf_exec";
     case EventKind::kSplit: return "split";
     case EventKind::kSteal: return "steal";
@@ -145,6 +146,12 @@ void append_args(std::ostringstream& os, const TraceEvent& ev) {
       break;
     case EventKind::kSteal:
       os << "\"victim\":" << ev.args[0] << ",\"source\":" << ev.args[1];
+      break;
+    case EventKind::kInspect:
+      os << "\"iterations\":" << ev.args[0] << ",\"classes\":" << ev.args[1]
+         << ",\"chains\":" << ev.args[2] << ",\"max_component\":" << ev.args[3]
+         << ",\"dependent\":" << ev.args[4]
+         << ",\"written_cells\":" << ev.args[5];
       break;
     default:
       os << "\"a0\":" << ev.args[0];

@@ -50,6 +50,8 @@ enum class EventKind : std::uint8_t {
   kPartitionVerify,   ///< kernel verifier run; args[0] = 1 verified / 0
                       ///< rejected, args[1] = failed obligation count
   kExecutorBuild,  ///< StreamExecutor construction (rewrite + hull)
+  kInspect,        ///< runtime inspection span; args = {iterations, classes,
+                   ///< chains, max_component, dependent, written_cells}
   // Runtime events.
   kLeafExec,  ///< span; args = {cells, source, lo0, hi0, class_lo, class_hi}
   kSplit,     ///< instant; args = {axis, cells_kept, deque_size, source}

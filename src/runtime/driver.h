@@ -1,0 +1,51 @@
+// The work-stealing descriptor driver, extracted from StreamExecutor so
+// every executor that speaks TaskDescriptor — the streaming plan executor,
+// the batch scheduler's cousins, and the inspector executor — shares one
+// battle-tested loop: Chase-Lev deques, depth-first splitting along the
+// longest axis, steal sweeps with idle backoff, first-error abort, and the
+// tracing/metrics gates.
+//
+// The driver owns *scheduling* only. What a leaf descriptor means (a boxed
+// DOALL prefix x class range to scan, a native-kernel range call, a run of
+// inspector classes) is the caller's business, encoded in the LeafFactory.
+#pragma once
+
+#include <functional>
+
+#include "runtime/stats.h"
+#include "runtime/task.h"
+#include "support/thread_pool.h"
+
+namespace vdep::runtime {
+
+/// Runs one leaf descriptor. Created per worker context by a factory so
+/// scan state (or kernel bindings) stay thread-private.
+using LeafFn = std::function<void(const TaskDescriptor&)>;
+/// Builds the LeafFn of one worker context; `stats` is that context's
+/// private counter block (iterations are counted by the leaf itself).
+using LeafFactory = std::function<LeafFn(int, WorkerStats&)>;
+
+struct DriveOptions {
+  /// Worker contexts (the caller is context 0 when no pool is given).
+  std::size_t threads = 1;
+  /// Descriptor grain in cells: descriptors with more cells keep splitting.
+  i64 grain = 1;
+  /// Allow this run to emit trace events when the global obs::TraceRecorder
+  /// is enabled (leaf spans, split/steal/idle events).
+  bool trace = true;
+  /// Same gate for the global obs::MetricsRegistry.
+  bool metrics = true;
+};
+
+/// Splits `root` recursively down to `opts.grain` cells across
+/// `opts.threads` work-stealing workers and runs every leaf through the
+/// factory's LeafFns. With `pool` null, spawns threads - 1 helpers and uses
+/// the calling thread as worker 0; otherwise the pool's threads (plus the
+/// caller) claim the worker contexts. The first leaf exception aborts the
+/// run and is rethrown after all workers stop.
+RuntimeStats drive_descriptors(const TaskDescriptor& root,
+                               const DriveOptions& opts,
+                               const LeafFactory& leaf_factory,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace vdep::runtime

@@ -1,30 +1,15 @@
 #include "runtime/stream_executor.h"
 
-#include <chrono>
-#include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "analysis/interval.h"
 #include "exec/compiled.h"
 #include "exec/interpreter.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "runtime/work_queue.h"
+#include "runtime/driver.h"
 #include "support/error.h"
 
 namespace vdep::runtime {
-
-namespace {
-
-i64 now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 /// Per-thread execution context: the scan cursor, the map-back buffer and
 /// the iteration body, bundled so the recursive scans touch one object.
@@ -173,189 +158,15 @@ void StreamExecutor::execute_leaf(const TaskDescriptor& task, Worker& w) const {
 
 RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
                                    ThreadPool* pool) const {
-  RuntimeStats out;
-  out.workers.resize(threads_);
-  TaskDescriptor rt = root();
-  if (rt.empty()) return out;
-
-  std::vector<std::unique_ptr<WorkStealingDeque>> deques;
-  deques.reserve(threads_);
-  for (std::size_t k = 0; k < threads_; ++k)
-    deques.push_back(std::make_unique<WorkStealingDeque>());
-
-  // Tasks alive (queued or executing). Seeded before any worker starts;
-  // thread creation publishes the push below to every worker.
-  std::atomic<i64> pending{1};
-  deques[0]->push(rt);
-
-  std::atomic<bool> abort{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  // Observability gates, sampled once per run: with the recorder/registry
-  // globally off (or the run opting out) the workers pay one hoisted bool
-  // test per site, no clock reads beyond the two busy_ns already makes.
-  const bool tracing = opts_.trace && obs::TraceRecorder::enabled();
-  const bool metrics = opts_.metrics && obs::MetricsRegistry::enabled();
-  obs::Histogram* steal_lat = nullptr;
-  obs::Histogram* leaf_cells = nullptr;
-  obs::Histogram* qdepth = nullptr;
-  if (metrics) {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
-    steal_lat = &reg.histogram(
-        "vdep_steal_latency_ns", obs::exp_buckets(1000, 4.0, 12),
-        "idle-episode length ending in a successful steal");
-    leaf_cells = &reg.histogram("vdep_leaf_cells",
-                                obs::exp_buckets(1, 4.0, 16),
-                                "cells per executed leaf descriptor");
-    qdepth = &reg.histogram("vdep_queue_depth", obs::exp_buckets(1, 2.0, 10),
-                            "owner deque size sampled at split");
-  }
-
-  const int n = static_cast<int>(threads_);
-  auto worker_main = [&](int id) {
-    WorkerStats& stats = out.workers[static_cast<std::size_t>(id)];
-    LeafFn leaf = leaf_factory(id, stats);
-
-    auto process = [&](TaskDescriptor task) {
-      i64 t0 = now_ns();
-      try {
-        // Split depth-first: push the large high halves (stolen first),
-        // keep refining the low half until it is a leaf, run it.
-        while (can_split(task, grain_)) {
-          int axis = 0;
-          TaskDescriptor high = split(task, grain_, &axis);
-          pending.fetch_add(1, std::memory_order_relaxed);
-          deques[static_cast<std::size_t>(id)]->push(high);
-          ++stats.splits;
-          ++stats.axis_splits[axis];
-          if (tracing || metrics) {
-            const i64 depth =
-                deques[static_cast<std::size_t>(id)]->size_estimate();
-            if (metrics) qdepth->observe(depth);
-            if (tracing) {
-              obs::TraceEvent ev;
-              ev.start_ns = obs::now_ns();
-              ev.kind = obs::EventKind::kSplit;
-              ev.worker = id;
-              ev.args[0] = axis;
-              ev.args[1] = task.cells();
-              ev.args[2] = depth;
-              ev.args[3] = task.source;
-              obs::TraceRecorder::record(ev);
-            }
-          }
-        }
-        leaf(task);
-        ++stats.tasks;
-        if (metrics) leaf_cells->observe(task.cells());
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        abort.store(true, std::memory_order_release);
-      }
-      pending.fetch_sub(1, std::memory_order_acq_rel);
-      const i64 t1 = now_ns();
-      if (tracing) {
-        obs::TraceEvent ev;
-        ev.start_ns = t0;
-        ev.dur_ns = t1 - t0;
-        ev.kind = obs::EventKind::kLeafExec;
-        ev.worker = id;
-        ev.args[0] = task.cells();
-        ev.args[1] = task.source;
-        ev.args[2] = task.ndims > 0 ? task.lo[0] : 0;
-        ev.args[3] = task.ndims > 0 ? task.hi[0] : 0;
-        ev.args[4] = task.class_lo;
-        ev.args[5] = task.class_hi;
-        obs::TraceRecorder::record(ev);
-      }
-      stats.busy_ns += t1 - t0;
-    };
-
-    // One idle episode spans from the first failed pop to the steal (or
-    // exit) that ends it; a worker's own deque cannot refill while it is
-    // idle (only its own process() pushes), so episodes close exactly there.
-    int idle_sweeps = 0;
-    i64 idle_t0 = 0;
-    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1) {
-      if (idle_t0 == 0) return;
-      const i64 t1 = now_ns();
-      stats.idle_ns += t1 - idle_t0;
-      if (kind == obs::EventKind::kSteal && metrics)
-        steal_lat->observe(t1 - idle_t0);
-      if (tracing) {
-        obs::TraceEvent ev;
-        ev.start_ns = idle_t0;
-        ev.dur_ns = t1 - idle_t0;
-        ev.kind = kind;
-        ev.worker = id;
-        ev.args[0] = a0;
-        ev.args[1] = a1;
-        obs::TraceRecorder::record(ev);
-      }
-      idle_t0 = 0;
-    };
-    for (;;) {
-      if (abort.load(std::memory_order_acquire)) return;
-      TaskDescriptor task;
-      if (deques[static_cast<std::size_t>(id)]->pop(task)) {
-        process(task);
-        idle_sweeps = 0;
-        continue;
-      }
-      if (idle_t0 == 0) idle_t0 = now_ns();
-      if (pending.load(std::memory_order_acquire) == 0) {
-        close_idle(obs::EventKind::kIdle, 0, 0);
-        return;
-      }
-      bool stolen = false;
-      int victim_id = -1;
-      for (int k = 1; k < n && !stolen; ++k) {
-        std::size_t victim = static_cast<std::size_t>((id + k) % n);
-        if (deques[victim]->steal(task)) {
-          ++stats.steals;
-          victim_id = static_cast<int>(victim);
-          stolen = true;
-        }
-      }
-      if (stolen) {
-        close_idle(obs::EventKind::kSteal, victim_id, task.source);
-        process(task);
-        idle_sweeps = 0;
-      } else {
-        if (n > 1) ++stats.failed_steals;
-        if (++idle_sweeps < 16) {
-          std::this_thread::yield();
-        } else {
-          // Nothing stealable for a while (e.g. one unsplittable descriptor
-          // left): back off instead of burning a core per idle worker.
-          std::this_thread::sleep_for(std::chrono::microseconds(
-              std::min(50 * (idle_sweeps - 15), 1000)));
-        }
-      }
-    }
-  };
-
-  i64 t0 = now_ns();
-  if (pool) {
-    // One chunk per worker context; pool threads plus the caller claim
-    // them. A pool smaller than threads_ just runs some contexts after
-    // others finished (they see pending == 0 and return immediately).
-    pool->parallel_for(static_cast<i64>(threads_),
-                       [&](i64 id) { worker_main(static_cast<int>(id)); });
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(threads_ - 1);
-    for (int k = 1; k < n; ++k) workers.emplace_back(worker_main, k);
-    worker_main(0);  // the calling thread is worker 0
-    for (std::thread& t : workers) t.join();
-  }
-  out.wall_ns = now_ns() - t0;
-
-  if (first_error) std::rethrow_exception(first_error);
-  if (metrics) publish_run_metrics(out.workers);
-  return out;
+  // The scheduling loop lives in runtime/driver.cpp (shared with the
+  // inspector executor); this executor only supplies the root box, the
+  // grain, and the plan-scanning leaves.
+  DriveOptions d;
+  d.threads = threads_;
+  d.grain = grain_;
+  d.trace = opts_.trace;
+  d.metrics = opts_.metrics;
+  return drive_descriptors(root(), d, leaf_factory, pool);
 }
 
 StreamExecutor::LeafFn StreamExecutor::make_scan_leaf(

@@ -25,6 +25,7 @@
 
 #include "codegen/rewrite.h"
 #include "exec/kernel.h"
+#include "runtime/driver.h"
 #include "runtime/stats.h"
 #include "runtime/task.h"
 #include "support/thread_pool.h"
@@ -62,12 +63,10 @@ struct StreamOptions {
 
 class StreamExecutor {
  public:
-  /// Runs one leaf descriptor. Created per worker context by a factory so
-  /// scan state (or kernel bindings) stay thread-private.
-  using LeafFn = std::function<void(const TaskDescriptor&)>;
-  /// Builds the LeafFn of one worker context; `stats` is that context's
-  /// private counter block (iterations are counted by the leaf itself).
-  using LeafFactory = std::function<LeafFn(int, WorkerStats&)>;
+  /// Leaf runner / factory types shared with the descriptor driver
+  /// (runtime/driver.h), which owns the scheduling loop.
+  using LeafFn = runtime::LeafFn;
+  using LeafFactory = runtime::LeafFactory;
 
   /// `plan` must come from trans::plan_transform on `original`'s PDM (or
   /// be otherwise legal for it); legality is not re-checked here.

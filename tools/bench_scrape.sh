@@ -34,6 +34,7 @@ printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_thr
 # only shows up in the data, it doesn't abort the scrape.
 ("$build_dir"/bench_jit_speedup --partition-gate || true) | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_batch_serving | tee /dev/stderr >> "$tmp"
+"$build_dir"/bench_inspector | tee /dev/stderr >> "$tmp"
 
 grep '^{' "$tmp" > "$out"
 echo "wrote $(wc -l < "$out") json lines to $out" >&2
