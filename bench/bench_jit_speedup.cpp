@@ -23,10 +23,19 @@
 // the partitioned fast path, and every checksum must be bit-identical to
 // the clamped run. Hosts without a vector ISA (no AVX2 on x86, non-NEON)
 // emit a skip line and exit 0 — the comparison is meaningless there.
+// `--cold-start-gate` measures what the on-disk artifact cache buys a fresh
+// process: session A populates an empty cache directory (cold: full
+// analysis + cc subprocess), session B re-runs the same suite against the
+// warm directory with cold in-memory state. The gate fails unless session B
+// invoked cc exactly zero times (counter-verified via vdep_jit_builds_total)
+// and produced bit-identical checksums.
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -34,7 +43,9 @@
 
 #include "api/vdep.h"
 #include "core/suite.h"
+#include "jit/toolchain.h"
 #include "loopir/builder.h"
+#include "obs/metrics.h"
 
 using namespace vdep;
 using intlin::i64;
@@ -272,16 +283,158 @@ int partition_gate_main(bool gate) {
   return 0;
 }
 
+// --------------------------------------------------------- cold-start gate
+
+/// One "session": fresh Compiler (cold in-memory caches) against `cache_dir`.
+/// Returns wall time of compile + JIT materialization, plus the execution
+/// checksum, and reports how many cc subprocesses the session ran.
+struct SessionResult {
+  bool ok = false;
+  std::string error;
+  double seconds = 0;       ///< compile + jit() wall time
+  i64 checksum = 0;
+  i64 cc_invocations = 0;
+  bool jit = false;
+};
+
+SessionResult run_session(const loopir::LoopNest& nest,
+                          const std::string& cache_dir, std::size_t threads) {
+  SessionResult out;
+  i64 builds_before = obs::MetricsRegistry::instance()
+                          .counter("vdep_jit_builds_total")
+                          .value();
+  Compiler compiler(CompileOptions{}.disk_cache(cache_dir));
+  jit::JitOptions jo;
+  jo.cache_dir = cache_dir;
+
+  auto t0 = std::chrono::steady_clock::now();
+  Expected<CompiledLoop> loop = compiler.compile(nest);
+  if (!loop) {
+    out.error = loop.error().to_string();
+    return out;
+  }
+  auto kernel = loop->jit(jo);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!kernel) {
+    out.error = kernel.error().to_string();
+    return out;
+  }
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  exec::ArrayStore store(loop->nest());
+  store.fill_pattern();
+  ExecPolicy policy;
+  policy.threads(threads).backend(ExecBackend::kJit).jit_options(jo);
+  Expected<ExecReport> rep = loop->execute(policy, store);
+  if (!rep) {
+    out.error = rep.error().to_string();
+    return out;
+  }
+  out.checksum = rep->checksum;
+  out.jit = rep->jit;
+  out.cc_invocations = obs::MetricsRegistry::instance()
+                           .counter("vdep_jit_builds_total")
+                           .value() -
+                       builds_before;
+  out.ok = true;
+  return out;
+}
+
+int cold_start_gate_main(bool gate) {
+  if (!jit::discover_toolchain()) {
+    std::printf(
+        "{\"bench\":\"jit_speedup\",\"mode\":\"cold_start\",\"name\":\"ALL\","
+        "\"hw_threads\":%zu,\"skipped\":true,"
+        "\"reason\":\"no C toolchain on this host\"}\n",
+        hw_threads());
+    return 0;
+  }
+  const std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  obs::MetricsRegistry::instance().enable();
+
+  std::string templ =
+      (std::filesystem::temp_directory_path() / "vdep-coldstart-XXXXXX")
+          .string();
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (!::mkdtemp(buf.data())) {
+    std::fprintf(stderr, "cold-start gate: mkdtemp failed\n");
+    return 1;
+  }
+  std::string cache_dir = buf.data();
+
+  double cold_total = 0, warm_total = 0;
+  int kernels = 0, warm_cc = 0, mismatches = 0, fallbacks = 0;
+  for (core::NamedNest& c : core::paper_suite(64)) {
+    // Session A: empty cache entry for this structure — pays analysis + cc.
+    SessionResult cold = run_session(c.nest, cache_dir, threads);
+    // Session B: cold in-memory state, warm disk — must pay neither.
+    SessionResult warm = run_session(c.nest, cache_dir, threads);
+    if (!cold.ok || !warm.ok) {
+      std::printf(
+          "{\"bench\":\"jit_speedup\",\"mode\":\"cold_start\","
+          "\"name\":\"%s\",\"hw_threads\":%zu,\"error\":\"%s\"}\n",
+          c.name.c_str(), hw_threads(),
+          (!cold.ok ? cold : warm).error.c_str());
+      ++fallbacks;
+      continue;
+    }
+    bool identical = cold.checksum == warm.checksum;
+    std::printf(
+        "{\"bench\":\"jit_speedup\",\"mode\":\"cold_start\",\"name\":\"%s\","
+        "\"hw_threads\":%zu,\"cold_ms\":%.2f,\"warm_ms\":%.2f,"
+        "\"cold_vs_warm\":%.1f,\"warm_cc_invocations\":%lld,"
+        "\"checksum_identical\":%s}\n",
+        c.name.c_str(), hw_threads(), cold.seconds * 1e3, warm.seconds * 1e3,
+        warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0,
+        static_cast<long long>(warm.cc_invocations),
+        identical ? "true" : "false");
+    ++kernels;
+    cold_total += cold.seconds;
+    warm_total += warm.seconds;
+    warm_cc += static_cast<int>(warm.cc_invocations);
+    if (!identical) ++mismatches;
+    if (!warm.jit) ++fallbacks;
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+
+  std::printf(
+      "{\"bench\":\"jit_speedup\",\"mode\":\"cold_start\",\"name\":\"ALL\","
+      "\"hw_threads\":%zu,\"kernels\":%d,\"cold_total_ms\":%.2f,"
+      "\"warm_total_ms\":%.2f,\"cold_vs_warm\":%.1f,"
+      "\"warm_cc_invocations\":%d,\"fallbacks\":%d,"
+      "\"checksum_mismatches\":%d,\"gate\":\"warm_cc==0\"}\n",
+      hw_threads(), kernels, cold_total * 1e3, warm_total * 1e3,
+      warm_total > 0 ? cold_total / warm_total : 0.0, warm_cc, fallbacks,
+      mismatches);
+
+  if (gate &&
+      (kernels == 0 || warm_cc > 0 || mismatches > 0 || fallbacks > 0)) {
+    std::fprintf(stderr,
+                 "cold-start gate FAILED: kernels=%d warm_cc=%d "
+                 "mismatches=%d fallbacks=%d (warm session must invoke cc "
+                 "zero times, bit-identically)\n",
+                 kernels, warm_cc, mismatches, fallbacks);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool gate = false;
   bool partition_gate = false;
+  bool cold_start_gate = false;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--gate") == 0) gate = true;
     if (std::strcmp(argv[k], "--partition-gate") == 0) partition_gate = true;
+    if (std::strcmp(argv[k], "--cold-start-gate") == 0) cold_start_gate = true;
   }
   if (partition_gate) return partition_gate_main(/*gate=*/true);
+  if (cold_start_gate) return cold_start_gate_main(/*gate=*/true);
 
   const std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   // Per-kernel sizes: big enough for a measurable single run, small enough

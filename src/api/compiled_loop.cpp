@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "runtime/stream_executor.h"
 #include "support/error.h"
+#include "support/keyenc.h"
 
 namespace vdep {
 
@@ -44,7 +45,9 @@ std::string CodegenOptions::memo_key() const {
   key += ";main=";
   key += with_main_ ? '1' : '0';
   key += ";name=";
-  key += kernel_name_;
+  // kernel_name_ is free-form caller text: length-prefix it so a crafted
+  // name cannot forge the framing of any key built on top of this one.
+  keyenc::append_field(&key, kernel_name_);
   return key;
 }
 

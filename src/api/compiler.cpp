@@ -3,6 +3,7 @@
 #include <map>
 #include <thread>
 
+#include "cache/disk_cache.h"
 #include "dsl/parser.h"
 #include "intlin/mat.h"
 #include "obs/metrics.h"
@@ -28,6 +29,31 @@ Compiler::Compiler(CompileOptions opts)
 
 std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
     const loopir::LoopNest& nest, Fingerprint fp) const {
+  // Before the full pipeline: another process may have analyzed this
+  // structure already. The stored legality bit is never trusted — the
+  // Theorem-1 certificate is re-proved on the loaded PDM + T, so a disk
+  // hit gives exactly the guarantee a fresh analysis would.
+  std::shared_ptr<cache::DiskCache> disk = cache::DiskCache::resolve(
+      opts_.disk_cache(), opts_.disk_cache_enabled());
+  std::string disk_key;
+  if (disk) {
+    disk_key = cache::plan_cache_key(cache::build_id(), fp.key);
+    std::optional<cache::PlanPayload> hit;
+    {
+      obs::ScopedSpan span(obs::EventKind::kDiskCacheProbe, opts_.trace());
+      hit = disk->load_plan(disk_key);
+      span.set_arg(0, hit ? 1 : 0);
+    }
+    if (hit &&
+        (!hit->plan.legal ||
+         trans::is_legal_transform(hit->analysis.pdm.matrix(),
+                                   hit->plan.transform.t))) {
+      count_compile("vdep_plan_disk_hits_total");
+      return cache_->insert(std::make_shared<PlanArtifact>(
+          std::move(fp), std::move(hit->analysis), std::move(hit->plan)));
+    }
+  }
+
   // Cold path: the full pipeline. Everything below depends on the
   // structure only, so the artifact is valid for this fingerprint at any
   // bounds.
@@ -53,6 +79,7 @@ std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
     plan.doall_loops = 0;
     plan.partition_classes = 1;
     plan.legal = true;
+    if (disk) disk->store_plan(disk_key, analysis, plan);
     return cache_->insert(std::make_shared<PlanArtifact>(
         std::move(fp), std::move(analysis), std::move(plan)));
   }
@@ -82,6 +109,7 @@ std::shared_ptr<const PlanArtifact> Compiler::analyze_and_insert(
         "plan_transform produced a transformation that fails the "
         "Theorem 1 legality check");
 
+  if (disk) disk->store_plan(disk_key, analysis, plan);
   return cache_->insert(std::make_shared<PlanArtifact>(
       std::move(fp), std::move(analysis), std::move(plan)));
 }

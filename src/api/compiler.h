@@ -39,6 +39,13 @@ class CompileOptions {
   CompileOptions& trace(bool v) { trace_ = v; return *this; }
   /// Same gate for compile-side counters (cache hits/misses, compiles).
   CompileOptions& metrics(bool v) { metrics_ = v; return *this; }
+  /// On-disk artifact cache root for plans (and, through ExecPolicy's
+  /// JitOptions, kernels); "" = $VDEP_CACHE_DIR. Plans loaded from disk
+  /// re-prove their Theorem-1 legality certificate before use.
+  CompileOptions& disk_cache(std::string dir) { disk_cache_dir_ = std::move(dir); return *this; }
+  /// Master switch for the disk cache (default on; only engages when a
+  /// directory is configured here or via $VDEP_CACHE_DIR).
+  CompileOptions& disk_cache_enabled(bool v) { disk_cache_enabled_ = v; return *this; }
 
   std::size_t cache_capacity() const { return cache_capacity_; }
   std::size_t cache_shards() const { return cache_shards_; }
@@ -46,6 +53,8 @@ class CompileOptions {
   std::size_t pool_threads() const { return pool_threads_; }  ///< 0 = hardware
   bool trace() const { return trace_; }
   bool metrics() const { return metrics_; }
+  const std::string& disk_cache() const { return disk_cache_dir_; }
+  bool disk_cache_enabled() const { return disk_cache_enabled_; }
 
  private:
   std::size_t cache_capacity_ = 256;
@@ -54,6 +63,8 @@ class CompileOptions {
   std::size_t pool_threads_ = 0;  ///< session pool size; 0 = hardware
   bool trace_ = true;
   bool metrics_ = true;
+  std::string disk_cache_dir_;
+  bool disk_cache_enabled_ = true;
 };
 
 class Compiler {

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "support/keyenc.h"
+
 namespace vdep {
 
 namespace {
@@ -97,8 +99,7 @@ void render_subscripts(const loopir::ArrayRef& ref, std::string* key) {
     if (k < ref.indirect.size() && ref.indirect[k].has_value()) {
       const loopir::IndirectSubscript& ind = *ref.indirect[k];
       *key += 'I';
-      *key += ind.array;
-      *key += ';';
+      keyenc::append_field(key, ind.array);
       for (intlin::i64 c : ind.pos.coeffs()) append_int(key, c);
       *key += ':';
       append_int(key, ind.pos.constant_term());
@@ -124,8 +125,7 @@ void render_expr(const loopir::Expr& e, std::string* key) {
       return;
     case K::kRead:
       *key += 'r';
-      *key += e.ref().array;
-      *key += ';';  // names must not run into the digits that follow
+      keyenc::append_field(key, e.ref().array);
       render_subscripts(e.ref(), key);
       return;
     case K::kAdd:
@@ -173,8 +173,9 @@ std::string bounds_render(const loopir::LoopNest& nest) {
   }
   for (const loopir::ArrayDecl& a : nest.arrays()) {
     key += 'A';
-    key += a.name;
-    key += ';';  // terminate the name: "X1" + dim 2 must not key as "X" + 12
+    // Length-prefixed (support/keyenc.h): a plain separator is forgeable by
+    // a name that contains it — "X;1,2," must not collide with "X" + dims.
+    keyenc::append_field(&key, a.name);
     for (auto [lo, hi] : a.dims) {
       put(lo);
       put(hi);
@@ -182,8 +183,7 @@ std::string bounds_render(const loopir::LoopNest& nest) {
   }
   for (const loopir::Assign& st : nest.body()) {
     key += 'S';
-    key += st.lhs.array;
-    key += ';';
+    keyenc::append_field(&key, st.lhs.array);
     render_subscripts(st.lhs, &key);
     key += '=';
     render_expr(*st.rhs, &key);

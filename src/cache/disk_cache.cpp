@@ -1,0 +1,500 @@
+#include "cache/disk_cache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <system_error>
+
+#include "obs/metrics.h"
+#include "trans/legality.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VDEP_CACHE_POSIX 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace fs = std::filesystem;
+#endif
+
+namespace vdep::cache {
+
+#ifdef VDEP_CACHE_POSIX
+
+namespace {
+
+constexpr std::uint64_t kDefaultMaxBytes = 1ull << 30;  // 1 GiB
+
+void bump(const char* name, const char* help, std::int64_t n = 1) {
+  if (!obs::MetricsRegistry::enabled()) return;
+  obs::MetricsRegistry::instance().counter(name, help).inc(n);
+}
+
+/// 128-bit filename from the canonical key: two independently seeded fnv64
+/// halves. Filenames are only an index — the stored full key is the
+/// authority — but 128 bits keep accidental collisions out of the way.
+std::string key_file_stem(const std::string& key) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)),
+                static_cast<unsigned long long>(
+                    fnv1a64(key, 0x9e3779b97f4a7c15ull)));
+  return buf;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Bumps the entry's mtime so the eviction pass sees it as recently used.
+void touch(const std::string& path) {
+  ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+}
+
+bool env_enabled_dir(std::string* out) {
+  const char* e = std::getenv("VDEP_CACHE_DIR");
+  if (!e || !*e) return false;
+  *out = e;
+  return true;
+}
+
+struct Entry {
+  // Paths removed together: the .meta and .so of a kernel entry, or the
+  // single .plan file.
+  std::vector<std::string> files;
+  std::uint64_t bytes = 0;
+  std::int64_t mtime_ns = 0;  ///< LRU order; ns so burst stores still rank
+};
+
+std::int64_t mtime_ns_of(const char* path) {
+  struct stat st{};
+  if (::stat(path, &st) != 0) return 0;
+#ifdef __APPLE__
+  return st.st_mtimespec.tv_sec * 1000000000ll + st.st_mtimespec.tv_nsec;
+#else
+  return st.st_mtim.tv_sec * 1000000000ll + st.st_mtim.tv_nsec;
+#endif
+}
+
+/// Scans the cache into eviction units. Kernel (.so, .meta) pairs are one
+/// unit keyed by the .meta (the publish point); a .so with no .meta is an
+/// orphan from a crashed writer and joins the list as its own unit.
+std::vector<Entry> scan_entries(const std::string& dir) {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const char* sub : {"plans", "kernels"}) {
+    std::map<std::string, Entry> kernel_units;  // stem -> unit
+    for (const auto& de : fs::directory_iterator(dir + "/" + sub, ec)) {
+      if (!de.is_regular_file(ec)) continue;
+      fs::path p = de.path();
+      std::string ext = p.extension().string();
+      std::uint64_t sz = static_cast<std::uint64_t>(de.file_size(ec));
+      std::int64_t mt = mtime_ns_of(p.c_str());
+      if (ext == ".plan") {
+        entries.push_back({{p.string()}, sz, mt});
+      } else if (ext == ".meta" || ext == ".so") {
+        Entry& u = kernel_units[p.stem().string()];
+        u.files.push_back(p.string());
+        u.bytes += sz;
+        // The .meta mtime is the one touch() refreshes on hits.
+        if (ext == ".meta" || u.mtime_ns == 0) u.mtime_ns = mt;
+      }
+      // Anything else (tmp files from live writers) is left alone here;
+      // clear() removes them wholesale.
+    }
+    for (auto& [stem, u] : kernel_units) entries.push_back(std::move(u));
+  }
+  return entries;
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)),
+      max_bytes_(max_bytes ? max_bytes : kDefaultMaxBytes) {}
+
+std::shared_ptr<DiskCache> DiskCache::open(const std::string& dir,
+                                           std::uint64_t max_bytes) {
+  if (dir.empty()) return nullptr;
+  std::error_code ec;
+  fs::create_directories(dir + "/plans", ec);
+  fs::create_directories(dir + "/kernels", ec);
+  if (ec) return nullptr;
+  // Pre-create the lock file so eviction never races its creation.
+  int fd = ::open((dir + "/.lock").c_str(),
+                  O_CREAT | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return nullptr;
+  ::close(fd);
+  return std::shared_ptr<DiskCache>(new DiskCache(dir, max_bytes));
+}
+
+std::shared_ptr<DiskCache> DiskCache::resolve(const std::string& explicit_dir,
+                                              bool enabled) {
+  if (!enabled) return nullptr;
+  std::string dir = explicit_dir;
+  if (dir.empty() && !env_enabled_dir(&dir)) return nullptr;
+
+  std::uint64_t cap = 0;
+  if (const char* e = std::getenv("VDEP_CACHE_MAX_BYTES"))
+    cap = std::strtoull(e, nullptr, 10);
+
+  std::error_code ec;
+  fs::path canon = fs::weakly_canonical(dir, ec);
+  std::string id = ec ? dir : canon.string();
+
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<DiskCache>> registry;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = registry.find(id);
+  if (it != registry.end() && it->second->max_bytes() == (cap ? cap : kDefaultMaxBytes))
+    return it->second;
+  std::shared_ptr<DiskCache> c = open(dir, cap);
+  if (c) registry[id] = c;
+  return c;
+}
+
+std::string DiskCache::plan_path(const std::string& key) const {
+  return dir_ + "/plans/" + key_file_stem(key) + ".plan";
+}
+
+std::string DiskCache::kernel_path_base(const std::string& key) const {
+  return dir_ + "/kernels/" + key_file_stem(key);
+}
+
+bool DiskCache::atomic_write(const std::string& target,
+                             const std::string& bytes) {
+  // Unique per (process, in-process sequence): two threads of one process
+  // and two processes never collide on a temp name. Published via rename
+  // into place — readers observe nothing or everything.
+  std::string tmp = target + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(write_seq_.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0 || ::rename(tmp.c_str(), target.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void DiskCache::count_hit(bool hit) {
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bump("vdep_disk_cache_hits_total", "disk cache probes served");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    bump("vdep_disk_cache_misses_total", "disk cache probes missed");
+  }
+}
+
+void DiskCache::count_store(std::uint64_t bytes) {
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  stored_bytes_.fetch_add(static_cast<std::int64_t>(bytes),
+                          std::memory_order_relaxed);
+  bump("vdep_disk_cache_stores_total", "disk cache artifacts published");
+  bump("vdep_disk_cache_stored_bytes_total", "disk cache bytes published",
+       static_cast<std::int64_t>(bytes));
+}
+
+// ------------------------------------------------------------------- plans
+
+std::optional<PlanPayload> DiskCache::load_plan(const std::string& key) {
+  std::string path = plan_path(key);
+  std::optional<std::string> bytes = read_file(path);
+  if (!bytes) {
+    count_hit(false);
+    return std::nullopt;
+  }
+  std::optional<PlanPayload> p = deserialize_plan(*bytes);
+  // Key comparison defends the (astronomically unlikely, but free to
+  // check) filename-hash collision and any cross-version stem reuse.
+  if (!p || p->key != key) {
+    count_hit(false);
+    return std::nullopt;
+  }
+  touch(path);
+  count_hit(true);
+  return p;
+}
+
+bool DiskCache::store_plan(const std::string& key, const LoopAnalysis& analysis,
+                           const LoopPlan& plan) {
+  std::string bytes = serialize_plan(key, analysis, plan);
+  if (!atomic_write(plan_path(key), bytes)) return false;
+  count_store(bytes.size());
+  evict_to_cap();
+  return true;
+}
+
+// ----------------------------------------------------------------- kernels
+
+std::optional<KernelHit> DiskCache::load_kernel(const std::string& key) {
+  std::string base = kernel_path_base(key);
+  std::optional<std::string> meta_bytes = read_file(base + ".meta");
+  if (!meta_bytes) {
+    count_hit(false);
+    return std::nullopt;
+  }
+  std::optional<KernelMeta> meta = deserialize_kernel_meta(*meta_bytes);
+  if (!meta || meta->key != key) {
+    count_hit(false);
+    return std::nullopt;
+  }
+  KernelHit hit;
+  if (meta->ok) {
+    std::optional<std::string> so = read_file(base + ".so");
+    // The digest binds the .meta to the exact .so a concurrent writer
+    // published; a half-replaced pair degrades to a miss and a recompile.
+    if (!so || so->size() != meta->so_bytes || fnv1a64(*so) != meta->so_digest) {
+      count_hit(false);
+      return std::nullopt;
+    }
+    hit.so_path = base + ".so";
+    touch(base + ".so");
+  }
+  touch(base + ".meta");
+  hit.meta = std::move(*meta);
+  count_hit(true);
+  return hit;
+}
+
+bool DiskCache::put_kernel_meta(const std::string& key, const KernelMeta& meta) {
+  std::string bytes = serialize_kernel_meta(meta);
+  if (!atomic_write(kernel_path_base(key) + ".meta", bytes)) return false;
+  count_store(bytes.size());
+  evict_to_cap();
+  return true;
+}
+
+bool DiskCache::store_kernel(const std::string& key, KernelMeta meta,
+                             const std::string& so_file) {
+  std::optional<std::string> so = read_file(so_file);
+  if (!so) return false;
+  meta.key = key;
+  meta.ok = true;
+  meta.so_digest = fnv1a64(*so);
+  meta.so_bytes = so->size();
+  // .so first, .meta second: the .meta is the commit point, so no reader
+  // can validate a .meta whose .so is not yet fully in place.
+  if (!atomic_write(kernel_path_base(key) + ".so", *so)) return false;
+  count_store(so->size());
+  return put_kernel_meta(key, meta);
+}
+
+bool DiskCache::store_kernel_failure(const std::string& key, int error_kind,
+                                     const std::string& message) {
+  KernelMeta meta;
+  meta.key = key;
+  meta.ok = false;
+  meta.error_kind = error_kind;
+  meta.error_message = message;
+  return put_kernel_meta(key, meta);
+}
+
+// -------------------------------------------------------------- management
+
+DiskCacheStats DiskCache::stats() const {
+  DiskCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.stored_bytes = stored_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+DiskUsage DiskCache::usage() const {
+  DiskUsage u;
+  for (const Entry& e : scan_entries(dir_)) {
+    u.bytes += e.bytes;
+    bool is_plan = false, has_meta = false, has_so = false;
+    for (const std::string& f : e.files) {
+      if (f.size() >= 5 && f.compare(f.size() - 5, 5, ".plan") == 0)
+        is_plan = true;
+      else if (f.size() >= 5 && f.compare(f.size() - 5, 5, ".meta") == 0)
+        has_meta = true;
+      else
+        has_so = true;
+    }
+    if (is_plan)
+      ++u.plan_entries;
+    else if (has_meta && !has_so)
+      ++u.negative_entries;
+    else if (has_meta)
+      ++u.kernel_entries;
+  }
+  return u;
+}
+
+std::size_t DiskCache::evict_to_cap() {
+  // Cheap pre-check outside the lock: most stores are far under cap.
+  std::vector<Entry> entries = scan_entries(dir_);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) total += e.bytes;
+  if (total <= max_bytes_) return 0;
+
+  int lock_fd = ::open((dir_ + "/.lock").c_str(), O_WRONLY | O_CLOEXEC);
+  if (lock_fd < 0) return 0;
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    // Another process is already evicting this cache; let it.
+    ::close(lock_fd);
+    return 0;
+  }
+
+  // Re-scan under the lock — the pre-check raced concurrent evictors.
+  entries = scan_entries(dir_);
+  total = 0;
+  for (const Entry& e : entries) total += e.bytes;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime_ns < b.mtime_ns;
+  });
+  std::size_t evicted = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    for (const std::string& f : e.files) ::unlink(f.c_str());
+    total -= std::min(total, e.bytes);
+    ++evicted;
+  }
+  ::flock(lock_fd, LOCK_UN);
+  ::close(lock_fd);
+  if (evicted) {
+    evictions_.fetch_add(static_cast<std::int64_t>(evicted),
+                         std::memory_order_relaxed);
+    bump("vdep_disk_cache_evictions_total", "disk cache entries evicted",
+         static_cast<std::int64_t>(evicted));
+  }
+  return evicted;
+}
+
+std::size_t DiskCache::clear() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const char* sub : {"plans", "kernels"}) {
+    for (const auto& de : fs::directory_iterator(dir_ + "/" + sub, ec)) {
+      if (!de.is_regular_file(ec)) continue;
+      if (::unlink(de.path().c_str()) == 0) ++removed;
+    }
+  }
+  return removed;
+}
+
+VerifyReport DiskCache::verify() const {
+  VerifyReport report;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_ + "/plans", ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".plan") continue;
+    std::optional<std::string> bytes = read_file(de.path().string());
+    std::optional<PlanPayload> p =
+        bytes ? deserialize_plan(*bytes) : std::nullopt;
+    // A cached legality certificate is only as good as a fresh proof:
+    // re-run the Theorem-1 check against the stored PDM.
+    if (p && (!p->plan.legal ||
+              trans::is_legal_transform(p->analysis.pdm.matrix(),
+                                        p->plan.transform.t)))
+      ++report.plans_ok;
+    else
+      report.bad.push_back(de.path().string());
+  }
+  for (const auto& de : fs::directory_iterator(dir_ + "/kernels", ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".meta") continue;
+    std::optional<std::string> bytes = read_file(de.path().string());
+    std::optional<KernelMeta> m =
+        bytes ? deserialize_kernel_meta(*bytes) : std::nullopt;
+    bool good = m.has_value();
+    if (good && m->ok) {
+      fs::path so = de.path();
+      so.replace_extension(".so");
+      std::optional<std::string> so_bytes = read_file(so.string());
+      good = so_bytes && so_bytes->size() == m->so_bytes &&
+             fnv1a64(*so_bytes) == m->so_digest;
+    }
+    if (good)
+      ++report.kernels_ok;
+    else
+      report.bad.push_back(de.path().string());
+  }
+  return report;
+}
+
+#else  // !VDEP_CACHE_POSIX — the cache is simply absent on other hosts.
+
+DiskCache::DiskCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {}
+std::shared_ptr<DiskCache> DiskCache::open(const std::string&, std::uint64_t) {
+  return nullptr;
+}
+std::shared_ptr<DiskCache> DiskCache::resolve(const std::string&, bool) {
+  return nullptr;
+}
+std::optional<PlanPayload> DiskCache::load_plan(const std::string&) {
+  return std::nullopt;
+}
+bool DiskCache::store_plan(const std::string&, const LoopAnalysis&,
+                           const LoopPlan&) {
+  return false;
+}
+std::optional<KernelHit> DiskCache::load_kernel(const std::string&) {
+  return std::nullopt;
+}
+bool DiskCache::store_kernel(const std::string&, KernelMeta,
+                             const std::string&) {
+  return false;
+}
+bool DiskCache::store_kernel_failure(const std::string&, int,
+                                     const std::string&) {
+  return false;
+}
+DiskCacheStats DiskCache::stats() const { return {}; }
+DiskUsage DiskCache::usage() const { return {}; }
+std::size_t DiskCache::evict_to_cap() { return 0; }
+std::size_t DiskCache::clear() { return 0; }
+VerifyReport DiskCache::verify() const { return {}; }
+std::string DiskCache::plan_path(const std::string&) const { return {}; }
+std::string DiskCache::kernel_path_base(const std::string&) const {
+  return {};
+}
+bool DiskCache::atomic_write(const std::string&, const std::string&) {
+  return false;
+}
+bool DiskCache::put_kernel_meta(const std::string&, const KernelMeta&) {
+  return false;
+}
+void DiskCache::count_hit(bool) {}
+void DiskCache::count_store(std::uint64_t) {}
+
+#endif  // VDEP_CACHE_POSIX
+
+}  // namespace vdep::cache

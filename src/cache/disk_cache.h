@@ -1,0 +1,149 @@
+// Persistent cross-process artifact cache for plans and JIT kernels.
+//
+// Every fresh process re-runs PDM analysis and pays cc subprocess latency
+// per new (structure, bounds) pair; the in-memory plan cache (api/) and the
+// per-artifact .so memo amortize neither across processes. DiskCache is the
+// durable layer underneath both: serialized plans and compiled .so files
+// keyed by (structural fingerprint, bounds render, option render, toolchain
+// identity, vdep build id), shared by every process pointed at the same
+// directory.
+//
+// Concurrency protocol (crash-safe, no reader locks):
+//   - Writers publish with temp-file + rename(2) into place: a reader sees
+//     either nothing or a complete file, never a torn write. Kernel entries
+//     are a (.so, .meta) pair published .so-first; the .meta is the commit
+//     point and carries the .so digest, so a reader that finds a .meta
+//     always validates the exact bytes it will dlopen.
+//   - Readers validate an integrity envelope (magic + length + fnv64) and
+//     the full canonical key text; any mismatch — truncation, corruption,
+//     a filename hash collision, a concurrent eviction — degrades to a
+//     miss and a recompile, never a crash.
+//   - The size-capped LRU eviction pass runs under a flock(2)'d lock file,
+//     non-blocking: when another process is already evicting, this one
+//     skips. Hits touch entry mtimes, so eviction order approximates LRU.
+//
+// Layout under the root: plans/<hash>.plan, kernels/<hash>.{so,meta}, .lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/serialize.h"
+
+namespace vdep::cache {
+
+struct DiskCacheStats {
+  std::int64_t hits = 0;    ///< plan + kernel loads served (this process)
+  std::int64_t misses = 0;  ///< probes that found nothing usable
+  std::int64_t stores = 0;  ///< artifacts published
+  std::int64_t evictions = 0;     ///< entries this process evicted
+  std::int64_t stored_bytes = 0;  ///< bytes this process published
+};
+
+/// What a kernel probe returns: the validated metadata plus the path of the
+/// published .so (empty for negative entries). The path stays valid for
+/// dlopen even if eviction unlinks it afterwards — the mapping survives.
+struct KernelHit {
+  KernelMeta meta;
+  std::string so_path;
+};
+
+/// On-disk usage, from a directory scan (cross-process truth, unlike the
+/// process-local DiskCacheStats counters).
+struct DiskUsage {
+  std::size_t plan_entries = 0;
+  std::size_t kernel_entries = 0;
+  std::size_t negative_entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Outcome of verify(): re-validation of every stored artifact.
+struct VerifyReport {
+  std::size_t plans_ok = 0;
+  std::size_t kernels_ok = 0;
+  std::vector<std::string> bad;  ///< paths that failed validation
+  bool ok() const { return bad.empty(); }
+};
+
+class DiskCache {
+ public:
+  /// Opens (creating directories as needed) a cache rooted at `dir`.
+  /// nullptr when the directory cannot be created or the host has no POSIX
+  /// file locking (the cache is then simply absent, never an error).
+  static std::shared_ptr<DiskCache> open(const std::string& dir,
+                                         std::uint64_t max_bytes = 0);
+
+  /// Resolution used by the compile pipeline: an explicit directory wins,
+  /// else $VDEP_CACHE_DIR, else no cache. `enabled` = false short-circuits
+  /// to nullptr. Instances are shared per canonical directory, so every
+  /// session and ToolchainCompiler pointed at one cache shares counters
+  /// and eviction bookkeeping. Cap: $VDEP_CACHE_MAX_BYTES or 1 GiB.
+  static std::shared_ptr<DiskCache> resolve(const std::string& explicit_dir,
+                                            bool enabled);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  // ----------------------------------------------------------------- plans
+
+  /// Probes for a plan under `key`: envelope + key validated, mtime
+  /// touched. nullopt = miss.
+  std::optional<PlanPayload> load_plan(const std::string& key);
+  /// Publishes a plan (atomic rename); runs the eviction pass after.
+  bool store_plan(const std::string& key, const LoopAnalysis& analysis,
+                  const LoopPlan& plan);
+
+  // --------------------------------------------------------------- kernels
+
+  /// Probes for a kernel under `key`: meta envelope, key and .so digest all
+  /// validated. nullopt = miss; a hit may be a negative entry (meta.ok ==
+  /// false, empty so_path).
+  std::optional<KernelHit> load_kernel(const std::string& key);
+  /// Publishes `so_file` (copied into the cache) + metadata. `meta.key`,
+  /// `so_digest` and `so_bytes` are filled in here.
+  bool store_kernel(const std::string& key, KernelMeta meta,
+                    const std::string& so_file);
+  /// Publishes a negative entry for a deterministic toolchain failure.
+  bool store_kernel_failure(const std::string& key, int error_kind,
+                            const std::string& message);
+
+  // ------------------------------------------------------------ management
+
+  DiskCacheStats stats() const;
+  DiskUsage usage() const;
+  /// Removes entries (oldest mtime first) until usage is within max_bytes.
+  /// Runs under the lock file, non-blocking; returns entries evicted (0
+  /// when under cap or another process holds the lock).
+  std::size_t evict_to_cap();
+  /// Removes every entry; returns the count removed.
+  std::size_t clear();
+  /// Re-validates every stored artifact: envelopes, digests, and for plans
+  /// the Theorem-1 legality certificate re-proved from the stored PDM.
+  VerifyReport verify() const;
+
+ private:
+  DiskCache(std::string dir, std::uint64_t max_bytes);
+
+  std::string plan_path(const std::string& key) const;
+  std::string kernel_path_base(const std::string& key) const;
+  bool atomic_write(const std::string& target, const std::string& bytes);
+  bool put_kernel_meta(const std::string& key, const KernelMeta& meta);
+  void count_hit(bool hit);
+  void count_store(std::uint64_t bytes);
+
+  std::string dir_;
+  std::uint64_t max_bytes_;
+  std::atomic<std::uint64_t> write_seq_{0};
+
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> stores_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> stored_bytes_{0};
+};
+
+}  // namespace vdep::cache

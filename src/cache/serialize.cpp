@@ -1,0 +1,333 @@
+#include "cache/serialize.h"
+
+#include <charconv>
+
+#include "support/keyenc.h"
+
+namespace vdep::cache {
+
+namespace {
+
+// ------------------------------------------------------------ primitives
+//
+// Body encoding: integers render as decimal + ';', strings as keyenc
+// length-prefixed fields, matrices as rows/cols + entries. The reader is a
+// cursor that latches failure: any malformed token poisons the rest of the
+// parse, and callers check ok() once at the end.
+
+void put_i64(std::string* out, std::int64_t v) {
+  char buf[24];
+  char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  out->append(buf, end);
+  out->push_back(';');
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  out->append(buf, end);
+  out->push_back(';');
+}
+
+void put_str(std::string* out, std::string_view s) {
+  keyenc::append_field(out, s);
+}
+
+void put_mat(std::string* out, const intlin::Mat& m) {
+  put_i64(out, m.rows());
+  put_i64(out, m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c) put_i64(out, m.at(r, c));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == s_.size(); }
+
+  std::int64_t i64v() {
+    std::int64_t v = 0;
+    if (!number(&v, ';')) return 0;
+    return v;
+  }
+
+  std::uint64_t u64v() {
+    // Parsed as unsigned in its own right: digests routinely exceed
+    // INT64_MAX, so routing through i64v() would overflow and poison the
+    // cursor.
+    if (!ok_) return 0;
+    std::uint64_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(s_.data() + pos_, s_.data() + s_.size(), v);
+    if (ec != std::errc() || ptr == s_.data() + s_.size() || *ptr != ';') {
+      fail();
+      return 0;
+    }
+    pos_ = static_cast<std::size_t>(ptr - s_.data()) + 1;
+    return v;
+  }
+
+  std::string str() {
+    std::int64_t len = 0;
+    if (!number(&len, ':')) return {};
+    if (len < 0 || static_cast<std::size_t>(len) > s_.size() - pos_) {
+      fail();
+      return {};
+    }
+    std::string out(s_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  intlin::Mat mat() {
+    std::int64_t rows = i64v();
+    std::int64_t cols = i64v();
+    // Dimension sanity bound: a corrupted count must not drive a
+    // multi-gigabyte allocation before the digest... the envelope digest
+    // already passed, but a hostile cache file passes digests too.
+    if (!ok_ || rows < 0 || cols < 0 || rows > 4096 || cols > 4096) {
+      fail();
+      return intlin::Mat();
+    }
+    intlin::Mat m(static_cast<int>(rows), static_cast<int>(cols));
+    for (int r = 0; r < m.rows(); ++r)
+      for (int c = 0; c < m.cols(); ++c) m.at(r, c) = i64v();
+    return m;
+  }
+
+ private:
+  void fail() { ok_ = false; }
+
+  bool number(std::int64_t* v, char terminator) {
+    if (!ok_) return false;
+    auto [ptr, ec] = std::from_chars(s_.data() + pos_, s_.data() + s_.size(),
+                                     *v);
+    if (ec != std::errc() || ptr == s_.data() + s_.size() ||
+        *ptr != terminator) {
+      fail();
+      return false;
+    }
+    pos_ = static_cast<std::size_t>(ptr - s_.data()) + 1;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+constexpr std::string_view kMagic = "VDEPART1 ";
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string envelope(std::string_view body) {
+  std::string out(kMagic);
+  char buf[24];
+  char* end = std::to_chars(buf, buf + sizeof(buf), fnv1a64(body), 16).ptr;
+  out.append(buf, end);
+  out.push_back(' ');
+  end = std::to_chars(buf, buf + sizeof(buf), body.size()).ptr;
+  out.append(buf, end);
+  out.push_back('\n');
+  out.append(body);
+  return out;
+}
+
+std::optional<std::string> open_envelope(std::string_view bytes) {
+  if (bytes.substr(0, kMagic.size()) != kMagic) return std::nullopt;
+  std::size_t pos = kMagic.size();
+  std::uint64_t digest = 0;
+  auto [p1, e1] =
+      std::from_chars(bytes.data() + pos, bytes.data() + bytes.size(), digest,
+                      16);
+  if (e1 != std::errc() || p1 == bytes.data() + bytes.size() || *p1 != ' ')
+    return std::nullopt;
+  pos = static_cast<std::size_t>(p1 - bytes.data()) + 1;
+  std::uint64_t len = 0;
+  auto [p2, e2] =
+      std::from_chars(bytes.data() + pos, bytes.data() + bytes.size(), len);
+  if (e2 != std::errc() || p2 == bytes.data() + bytes.size() || *p2 != '\n')
+    return std::nullopt;
+  pos = static_cast<std::size_t>(p2 - bytes.data()) + 1;
+  // An exact length match rejects both truncation and appended garbage.
+  if (bytes.size() - pos != len) return std::nullopt;
+  std::string_view body = bytes.substr(pos);
+  if (fnv1a64(body) != digest) return std::nullopt;
+  return std::string(body);
+}
+
+// ------------------------------------------------------------------ plans
+
+std::string serialize_plan(const std::string& key, const LoopAnalysis& analysis,
+                           const LoopPlan& plan) {
+  std::string body;
+  body.reserve(512);
+  put_str(&body, key);
+  put_i64(&body, analysis.pdm.depth());
+  put_mat(&body, analysis.pdm.matrix());
+  put_i64(&body, analysis.rank);
+  put_i64(&body, analysis.all_uniform ? 1 : 0);
+  put_i64(&body, analysis.affine ? 1 : 0);
+  put_i64(&body, plan.transform.depth);
+  put_mat(&body, plan.transform.t);
+  put_mat(&body, plan.transform.transformed_pdm);
+  put_i64(&body, plan.transform.num_doall);
+  put_i64(&body, plan.transform.partition.has_value() ? 1 : 0);
+  if (plan.transform.partition)
+    put_mat(&body, plan.transform.partition->lattice_basis());
+  put_i64(&body, plan.transform.partition_classes);
+  put_i64(&body, static_cast<std::int64_t>(plan.transform.algorithm1_ops.size()));
+  for (const std::string& op : plan.transform.algorithm1_ops)
+    put_str(&body, op);
+  put_i64(&body, plan.legal ? 1 : 0);
+  put_i64(&body, plan.doall_loops);
+  put_i64(&body, plan.partition_classes);
+  return envelope(body);
+}
+
+std::optional<PlanPayload> deserialize_plan(std::string_view bytes) {
+  std::optional<std::string> body = open_envelope(bytes);
+  if (!body) return std::nullopt;
+  Cursor c(*body);
+  PlanPayload p;
+  p.key = c.str();
+  int depth = static_cast<int>(c.i64v());
+  intlin::Mat pdm_h = c.mat();
+  p.analysis.rank = static_cast<int>(c.i64v());
+  p.analysis.all_uniform = c.i64v() != 0;
+  p.analysis.affine = c.i64v() != 0;
+  p.plan.transform.depth = static_cast<int>(c.i64v());
+  p.plan.transform.t = c.mat();
+  p.plan.transform.transformed_pdm = c.mat();
+  p.plan.transform.num_doall = static_cast<int>(c.i64v());
+  bool has_partition = c.i64v() != 0;
+  intlin::Mat partition_h;
+  if (has_partition) partition_h = c.mat();
+  p.plan.transform.partition_classes = c.i64v();
+  std::int64_t n_ops = c.i64v();
+  if (!c.ok() || n_ops < 0 || n_ops > 4096) return std::nullopt;
+  for (std::int64_t k = 0; k < n_ops; ++k)
+    p.plan.transform.algorithm1_ops.push_back(c.str());
+  p.plan.legal = c.i64v() != 0;
+  p.plan.doall_loops = static_cast<int>(c.i64v());
+  p.plan.partition_classes = c.i64v();
+  if (!c.ok() || !c.at_end()) return std::nullopt;
+  // T is square in the transform's depth; the PDM depth can differ (a
+  // non-affine nest carries the depth-0 placeholder Pdm beside an
+  // identity transform at nest depth).
+  if (pdm_h.cols() != depth ||
+      p.plan.transform.t.rows() != p.plan.transform.depth ||
+      p.plan.transform.t.cols() != p.plan.transform.depth)
+    return std::nullopt;
+  // The depths must agree (non-affine placeholders carry depth 0), or the
+  // caller's legality re-check would trip a shape precondition instead of
+  // treating the artifact as a miss.
+  if (depth != 0 && depth != p.plan.transform.depth) return std::nullopt;
+  // Partitioning and Pdm constructors enforce their HNF invariants (they
+  // throw on a malformed basis), and Partitioning re-derives the class
+  // count — a tampered matrix cannot smuggle in a wrong invariant.
+  try {
+    if (has_partition) {
+      p.plan.transform.partition.emplace(partition_h);
+      if (p.plan.transform.partition->num_classes() !=
+          p.plan.transform.partition_classes)
+        return std::nullopt;
+    }
+    p.analysis.pdm = dep::Pdm(depth, std::move(pdm_h), {});
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  if (p.analysis.pdm.rank() != p.analysis.rank) return std::nullopt;
+  return p;
+}
+
+// ---------------------------------------------------------------- kernels
+
+std::string serialize_kernel_meta(const KernelMeta& meta) {
+  std::string body;
+  body.reserve(512 + meta.source.size());
+  put_str(&body, meta.key);
+  put_i64(&body, meta.ok ? 1 : 0);
+  if (meta.ok) {
+    put_str(&body, meta.entry);
+    put_i64(&body, static_cast<std::int64_t>(meta.arrays.size()));
+    for (const std::string& a : meta.arrays) put_str(&body, a);
+    put_i64(&body, meta.partitioned ? 1 : 0);
+    put_str(&body, meta.verdict);
+    put_str(&body, meta.source);
+    put_u64(&body, meta.so_digest);
+    put_u64(&body, meta.so_bytes);
+  } else {
+    put_i64(&body, meta.error_kind);
+    put_str(&body, meta.error_message);
+  }
+  return envelope(body);
+}
+
+std::optional<KernelMeta> deserialize_kernel_meta(std::string_view bytes) {
+  std::optional<std::string> body = open_envelope(bytes);
+  if (!body) return std::nullopt;
+  Cursor c(*body);
+  KernelMeta m;
+  m.key = c.str();
+  m.ok = c.i64v() != 0;
+  if (m.ok) {
+    m.entry = c.str();
+    std::int64_t n = c.i64v();
+    if (!c.ok() || n < 0 || n > 4096) return std::nullopt;
+    for (std::int64_t k = 0; k < n; ++k) m.arrays.push_back(c.str());
+    m.partitioned = c.i64v() != 0;
+    m.verdict = c.str();
+    m.source = c.str();
+    m.so_digest = c.u64v();
+    m.so_bytes = c.u64v();
+  } else {
+    m.error_kind = static_cast<int>(c.i64v());
+    m.error_message = c.str();
+  }
+  if (!c.ok() || !c.at_end()) return std::nullopt;
+  return m;
+}
+
+// ------------------------------------------------------------------- keys
+
+std::string plan_cache_key(std::string_view build_id, std::string_view fp_key) {
+  std::string key = "plan1|";
+  keyenc::append_field(&key, build_id);
+  keyenc::append_field(&key, fp_key);
+  return key;
+}
+
+std::string kernel_cache_key(std::string_view build_id, std::string_view fp_key,
+                             std::string_view bounds_render,
+                             std::string_view options_render,
+                             std::string_view toolchain_id) {
+  std::string key = "kern1|";
+  keyenc::append_field(&key, build_id);
+  keyenc::append_field(&key, fp_key);
+  keyenc::append_field(&key, bounds_render);
+  keyenc::append_field(&key, options_render);
+  keyenc::append_field(&key, toolchain_id);
+  return key;
+}
+
+const char* build_id() {
+#ifdef VDEP_BUILD_ID
+  return VDEP_BUILD_ID;
+#else
+  return "dev";
+#endif
+}
+
+}  // namespace vdep::cache

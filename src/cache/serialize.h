@@ -1,0 +1,108 @@
+// Serialization of cached compilation artifacts (src/cache/).
+//
+// Two artifact kinds cross process boundaries through the disk cache:
+//
+//   - plans: the structure-only stages of a PlanArtifact — the PDM's Hermite
+//     matrix, rank/uniformity, the unimodular transform T, H*T, the DOALL
+//     count, the Theorem-2 partition lattice and the Theorem-1 legality
+//     certificate. Deliberately NOT serialized: the per-pair dependence
+//     diagnostics (DepPair) — they are reporting-only, and a disk-loaded
+//     plan re-proves the legality certificate from the serialized PDM matrix
+//     instead of trusting any stored bit (see deserialize_plan callers).
+//
+//   - kernel metadata: everything jit::NativeKernel needs beside the .so
+//     bytes — entry symbol, buffer bind order, the KernelVerifier verdict
+//     (so partitioned kernels stay gated across processes), the emitted C,
+//     and a digest of the .so for corruption detection. Deterministic
+//     toolchain failures serialize as negative entries so a cold process
+//     does not re-pay a doomed cc run.
+//
+// The format is a fixed envelope (`VDEPART1 <fnv64 hex> <body length>`)
+// around a body of length-prefixed fields: truncation fails the length
+// check, bit rot fails the digest, and version bumps change the magic —
+// every failure mode reads as a cache miss, never as a crash or a wrong
+// artifact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/compiled_loop.h"
+
+namespace vdep::cache {
+
+/// FNV-1a 64-bit — the digest used by envelopes, entry filenames and .so
+/// integrity checks. Not cryptographic: the cache defends against
+/// corruption and collisions (full keys are stored and compared), not
+/// against an adversary who can already write to the cache directory.
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed = 0);
+
+/// Wraps `body` in the integrity envelope.
+std::string envelope(std::string_view body);
+/// Unwraps: nullopt when the magic, length or digest does not match.
+std::optional<std::string> open_envelope(std::string_view bytes);
+
+// ------------------------------------------------------------------ plans
+
+struct PlanPayload {
+  std::string key;  ///< full canonical cache key (collision guard)
+  LoopAnalysis analysis;
+  LoopPlan plan;
+};
+
+std::string serialize_plan(const std::string& key, const LoopAnalysis& analysis,
+                           const LoopPlan& plan);
+/// Parses an envelope-verified plan file. nullopt on any structural
+/// mismatch. The caller still owns semantic validation (key comparison and
+/// the Theorem-1 legality re-check).
+std::optional<PlanPayload> deserialize_plan(std::string_view bytes);
+
+// ---------------------------------------------------------------- kernels
+
+struct KernelMeta {
+  std::string key;  ///< full canonical cache key (collision guard)
+  /// False for a negative entry: a deterministic toolchain failure cached
+  /// so cold processes fail fast instead of re-running cc.
+  bool ok = true;
+
+  // ok == true:
+  std::string entry;                ///< entry symbol in the .so
+  std::vector<std::string> arrays;  ///< buffer bind order
+  bool partitioned = false;         ///< verified steady-state fast path
+  std::string verdict;              ///< KernelVerifier summary (gates reuse)
+  std::string source;               ///< emitted C (diagnostics)
+  std::uint64_t so_digest = 0;      ///< fnv1a64 of the .so bytes
+  std::uint64_t so_bytes = 0;
+
+  // ok == false:
+  int error_kind = 0;  ///< static_cast<int>(ErrorKind)
+  std::string error_message;
+};
+
+std::string serialize_kernel_meta(const KernelMeta& meta);
+std::optional<KernelMeta> deserialize_kernel_meta(std::string_view bytes);
+
+// ------------------------------------------------------------------- keys
+
+/// Canonical key of a cached plan: build id (vdep git sha — plan layout and
+/// planner behaviour may change between versions) + the structural
+/// fingerprint key. Bounds never enter: plans are bounds-parametric.
+std::string plan_cache_key(std::string_view build_id, std::string_view fp_key);
+
+/// Canonical key of a cached native kernel: build id + structural
+/// fingerprint + bounds/dims rendering + the option render (flags that
+/// change the TU or its compilation) + toolchain identity (resolved
+/// compiler path and a digest of its --version output, so a toolchain
+/// upgrade misses instead of serving stale code).
+std::string kernel_cache_key(std::string_view build_id, std::string_view fp_key,
+                             std::string_view bounds_render,
+                             std::string_view options_render,
+                             std::string_view toolchain_id);
+
+/// The vdep build identity baked in at configure time (git sha, or "dev"
+/// when built outside a git checkout).
+const char* build_id();
+
+}  // namespace vdep::cache

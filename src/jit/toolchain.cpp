@@ -1,20 +1,30 @@
 #include "jit/toolchain.h"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "analysis/kernel_verifier.h"
 #include "analysis/loop_partition.h"
+#include "api/fingerprint.h"
+#include "cache/disk_cache.h"
 #include "codegen/emit_c.h"
 #include "codegen/rewrite.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
+#include "support/keyenc.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <dlfcn.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #define VDEP_JIT_POSIX 1
@@ -50,7 +60,11 @@ std::optional<std::string> find_on_path(const std::string& name) {
   std::istringstream dirs(path);
   std::string dir;
   while (std::getline(dirs, dir, ':')) {
-    if (dir.empty()) continue;
+    // POSIX treats an empty PATH entry ("::", a leading/trailing ':') as
+    // the current directory, and relative entries resolve against it too.
+    // Executing a compiler picked up from the CWD is a classic planting
+    // vector and never what a library user means — absolute entries only.
+    if (dir.empty() || dir[0] != '/') continue;
     fs::path candidate = fs::path(dir) / name;
     if (is_executable(candidate)) return candidate.string();
   }
@@ -91,6 +105,10 @@ Expected<std::string> make_work_dir(const std::string& base) {
   if (!::mkdtemp(buf.data()))
     return ApiError{ErrorKind::kUnsupported,
                     "jit: mkdtemp failed under " + root.string()};
+  // Stamp the owner so sweep_stale_work_dirs can tell a crashed process's
+  // leftover from a live compile in another process.
+  std::ofstream pid(fs::path(buf.data()) / "owner.pid");
+  pid << ::getpid() << '\n';
   return std::string(buf.data());
 #else
   return ApiError{ErrorKind::kUnsupported,
@@ -101,10 +119,13 @@ Expected<std::string> make_work_dir(const std::string& base) {
 }  // namespace
 
 std::string JitOptions::memo_key() const {
+  // compiler and extra_flags are free-form caller text: length-prefixed
+  // (support/keyenc.h) so {compiler:"x;flags=y"} and {compiler:"x",
+  // extra_flags:"y;flags="} cannot collide onto one memo entry.
   std::string key = "cc=";
-  key += compiler;
+  keyenc::append_field(&key, compiler);
   key += ";flags=";
-  key += extra_flags;
+  keyenc::append_field(&key, extra_flags);
   key += ";keep=";
   key += keep_artifacts ? '1' : '0';
   key += ";part=";
@@ -125,15 +146,188 @@ std::optional<std::string> discover_toolchain(const std::string& preferred) {
   return std::nullopt;
 }
 
+std::string toolchain_identity(const std::string& cc_path) {
+#ifdef VDEP_JIT_POSIX
+  // Memoized per (path, mtime, size): the --version subprocess runs once
+  // per distinct driver file, and a rewritten driver (upgrade, or a test
+  // swapping a wrapper script) re-probes instead of reusing a stale digest.
+  struct Identity {
+    std::time_t mtime = 0;
+    std::int64_t size = -1;
+    std::string id;
+  };
+  static std::mutex mu;
+  static std::map<std::string, Identity> memo;
+
+  struct stat st{};
+  std::time_t mtime = 0;
+  std::int64_t size = -1;
+  if (::stat(cc_path.c_str(), &st) == 0) {
+    mtime = st.st_mtime;
+    size = static_cast<std::int64_t>(st.st_size);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(cc_path);
+    if (it != memo.end() && it->second.mtime == mtime &&
+        it->second.size == size)
+      return it->second.id;
+  }
+
+  std::string version;
+  std::string cmd = shell_quote(cc_path) + " --version 2>/dev/null";
+  if (FILE* p = ::popen(cmd.c_str(), "r")) {
+    char buf[512];
+    std::size_t n;
+    while ((n = ::fread(buf, 1, sizeof(buf), p)) > 0) version.append(buf, n);
+    ::pclose(p);
+  }
+  std::string id;
+  keyenc::append_field(&id, cc_path);
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(cache::fnv1a64(version)));
+  id += hex;
+
+  std::lock_guard<std::mutex> lock(mu);
+  memo[cc_path] = Identity{mtime, size, id};
+  return id;
+#else
+  return cc_path;
+#endif
+}
+
+std::size_t sweep_stale_work_dirs(const std::string& base) {
+#ifndef VDEP_JIT_POSIX
+  (void)base;
+  return 0;
+#else
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) return 0;
+
+  // Once per (process, root): the sweep is recovery work, not something
+  // every ToolchainCompiler construction should re-pay.
+  {
+    static std::mutex mu;
+    static std::set<std::string> swept;
+    std::lock_guard<std::mutex> lock(mu);
+    if (!swept.insert(root.string()).second) return 0;
+  }
+
+  std::size_t removed = 0;
+  for (const auto& de : fs::directory_iterator(root, ec)) {
+    if (!de.is_directory(ec)) continue;
+    std::string name = de.path().filename().string();
+    if (name.rfind("vdep-jit-", 0) != 0) continue;
+
+    long pid = 0;
+    {
+      std::ifstream in(de.path() / "owner.pid");
+      in >> pid;
+      if (!in) pid = 0;
+    }
+    bool stale;
+    if (pid > 0 && pid != static_cast<long>(::getpid())) {
+      // kill(pid, 0) probes liveness without signalling; only ESRCH — no
+      // such process — proves the owner is gone. EPERM means alive but
+      // not ours: leave it.
+      stale = ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+    } else if (pid > 0) {
+      stale = false;  // our own live compile in another thread
+    } else {
+      // No/unreadable stamp (torn creation, an older vdep): fall back to
+      // an age heuristic long past any plausible cc runtime.
+      auto mtime = fs::last_write_time(de.path(), ec);
+      if (ec) continue;
+      stale = decltype(mtime)::clock::now() - mtime > std::chrono::hours(24);
+    }
+    if (stale) {
+      std::error_code rm_ec;
+      fs::remove_all(de.path(), rm_ec);
+      if (!rm_ec) ++removed;
+    }
+  }
+  return removed;
+#endif
+}
+
 ToolchainCompiler::ToolchainCompiler(JitOptions opts)
-    : opts_(std::move(opts)), cc_(discover_toolchain(opts_.compiler)) {}
+    : opts_(std::move(opts)), cc_(discover_toolchain(opts_.compiler)) {
+  // Reclaim directories leaked by processes that died mid-compile; doing
+  // it at construction keeps the sweep off every compile() call while
+  // still running before this compiler adds its own directories.
+  sweep_stale_work_dirs(opts_.work_dir);
+}
+
+namespace {
+
+/// The option fields that change the emitted TU or its compile line — the
+/// disk-cache key's option component. compiler is covered by the toolchain
+/// identity; keep_artifacts/work_dir/cache_dir only steer local lifecycle.
+std::string cache_options_render(const JitOptions& o) {
+  std::string r;
+  keyenc::append_field(&r, o.extra_flags);
+  r += o.partition ? '1' : '0';
+  r += o.native_arch ? '1' : '0';
+  r += o.inject_partition_fault ? '1' : '0';
+  return r;
+}
+
+}  // namespace
 
 Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile(
     const loopir::LoopNest& original, const trans::TransformPlan& plan) const {
+  std::string cache_key;
+  std::shared_ptr<cache::DiskCache> disk =
+      cache::DiskCache::resolve(opts_.cache_dir, opts_.disk_cache);
+  if (disk && cc_) {
+    cache_key = cache::kernel_cache_key(
+        cache::build_id(), vdep::structural_fingerprint(original).key,
+        vdep::bounds_render(original), cache_options_render(opts_),
+        toolchain_identity(*cc_));
+    std::optional<cache::KernelHit> hit;
+    {
+      obs::ScopedSpan span(obs::EventKind::kDiskCacheProbe,
+                           /*layer_enabled=*/true, obs::Phase::kJitCompile);
+      hit = disk->load_kernel(cache_key);
+      if (span.tracing()) span.set_arg(0, hit ? 1 : 0);
+    }
+    if (hit) {
+      if (!hit->meta.ok)
+        // A cached deterministic failure: same TU + flags + toolchain will
+        // fail the same way — degrade now without paying the cc run.
+        return ApiError{static_cast<ErrorKind>(hit->meta.error_kind),
+                        hit->meta.error_message};
+      // dlopen straight off the published .so: the mapping outlives any
+      // later eviction's unlink, exactly like the default temp-dir flow.
+      obs::ScopedSpan dl(obs::EventKind::kDlopen, /*layer_enabled=*/true,
+                         obs::Phase::kJitCompile);
+      void* handle = dlopen(hit->so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+      auto fn = handle ? reinterpret_cast<NativeKernel::EntryFn>(
+                             dlsym(handle, hit->meta.entry.c_str()))
+                       : nullptr;
+      if (fn) {
+        return std::shared_ptr<const NativeKernel>(new NativeKernel(
+            handle, fn, std::move(hit->meta.arrays),
+            std::move(hit->meta.source),
+            // Cache hits honour the keep_artifacts contract: default
+            // lifecycle reports no on-disk path (the cache file is an
+            // internal detail), keep points at the cached object.
+            opts_.keep_artifacts ? hit->so_path : std::string(),
+            hit->meta.partitioned, std::move(hit->meta.verdict)));
+      }
+      if (handle) dlclose(handle);
+      // Undlopenable artifact (e.g. cross-host copy): fall through and
+      // rebuild; the store below overwrites the bad entry.
+    }
+  }
+
   // The emitted kernel indexes raw buffers unchecked; refuse nests whose
   // subscripts the box proof cannot certify (they interpret instead).
   std::string source;
   CompileMeta meta;
+  meta.cache_key = std::move(cache_key);
   {
     obs::ScopedSpan emit_span(obs::EventKind::kCodegen, /*layer_enabled=*/true,
                               obs::Phase::kCodegen);
@@ -276,8 +470,18 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
     std::string log = read_file(log_path, 2000);
     std::error_code ec;
     if (!opts_.keep_artifacts) fs::remove_all(work, ec);
-    return ApiError{ErrorKind::kUnsupported,
-                    "jit: toolchain '" + *cc_ + "' failed: " + log};
+    ApiError err{ErrorKind::kUnsupported,
+                 "jit: toolchain '" + *cc_ + "' failed: " + log};
+    // A clean nonzero exit is deterministic for this (TU, flags, driver)
+    // key — publish it so cold processes fail fast instead of re-running
+    // a doomed cc. A launch failure or a signal (OOM kill, ^C) is not.
+    if (!meta.cache_key.empty() && rc != -1 && WIFEXITED(rc)) {
+      if (auto disk = cache::DiskCache::resolve(opts_.cache_dir,
+                                                opts_.disk_cache))
+        disk->store_kernel_failure(meta.cache_key,
+                                   static_cast<int>(err.kind), err.message);
+    }
+    return err;
   }
 
   obs::ScopedSpan dlopen_span(obs::EventKind::kDlopen, /*layer_enabled=*/true,
@@ -298,6 +502,21 @@ Expected<std::shared_ptr<const NativeKernel>> ToolchainCompiler::compile_source(
     if (!opts_.keep_artifacts) fs::remove_all(work, ec);
     return ApiError{ErrorKind::kInternal,
                     "jit: entry symbol '" + entry_name + "' not found"};
+  }
+
+  // Publish into the disk cache before the workdir goes away — the next
+  // process (or the next session in this one) skips cc entirely.
+  if (!meta.cache_key.empty()) {
+    if (auto disk =
+            cache::DiskCache::resolve(opts_.cache_dir, opts_.disk_cache)) {
+      cache::KernelMeta km;
+      km.entry = entry_name;
+      km.arrays = array_order;
+      km.partitioned = meta.partitioned;
+      km.verdict = meta.partition_verdict;
+      km.source = c_source;
+      disk->store_kernel(meta.cache_key, std::move(km), so_path.string());
+    }
   }
 
   std::string kept_path;

@@ -46,8 +46,16 @@ struct JitOptions {
   /// Test-only: plant a clamp artifact in the emitted steady region so the
   /// verifier must reject it and the clamped fallback must load.
   bool inject_partition_fault = false;
+  /// On-disk artifact cache root; "" = $VDEP_CACHE_DIR (unset = no disk
+  /// cache). A hit skips emission, the verifier and the cc subprocess
+  /// entirely — the cached .so is dlopen-ed in place.
+  std::string cache_dir;
+  /// Master switch for the disk cache (the in-memory memos stay on).
+  bool disk_cache = true;
 
   /// Canonical memoization key of this option set (api plan-cache memo).
+  /// cache_dir/disk_cache are deliberately excluded: where an artifact is
+  /// cached does not change what it is.
   std::string memo_key() const;
 };
 
@@ -58,6 +66,22 @@ struct JitOptions {
 /// $VDEP_CC, then cc, gcc, clang looked up on $PATH.
 std::optional<std::string> discover_toolchain(const std::string& preferred = "");
 
+/// Identity string of the toolchain at `cc_path`: the resolved path plus a
+/// digest of its `--version` output. Part of every kernel disk-cache key,
+/// so a compiler upgrade (new version text) or switch (new path) misses
+/// instead of serving a stale .so. Memoized per (path, mtime, size): a
+/// rewritten driver re-probes, an unchanged one costs one stat(2).
+std::string toolchain_identity(const std::string& cc_path);
+
+/// Removes leftover vdep-jit-XXXXXX work directories under `base` whose
+/// owning process is gone — a process killed between mkdtemp and cleanup
+/// leaks its directory, and /tmp fills up one crash at a time. Directories
+/// are stamped with the creator's PID (owner.pid); a dead owner means the
+/// directory is stale. Unstamped directories (older vdep builds, torn
+/// creation) are removed only after 24h of mtime quiet. Runs once per
+/// (process, base); returns the number of directories removed.
+std::size_t sweep_stale_work_dirs(const std::string& base);
+
 /// How ToolchainCompiler::compile_source builds and labels one TU.
 struct CompileMeta {
   /// Optimization/arch flags ("-O2" clamped, "-O3 [-march=native]" for
@@ -66,6 +90,9 @@ struct CompileMeta {
   /// Stamped onto the NativeKernel (partitioned() / partition_verdict()).
   bool partitioned = false;
   std::string partition_verdict;
+  /// Disk-cache key this build publishes under when it finishes (set by
+  /// compile() after a cache miss; empty = don't publish).
+  std::string cache_key;
 };
 
 class ToolchainCompiler {

@@ -15,6 +15,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kParse: return "parse";
     case EventKind::kFingerprint: return "fingerprint";
     case EventKind::kCacheProbe: return "cache_probe";
+    case EventKind::kDiskCacheProbe: return "disk_cache_probe";
     case EventKind::kAnalyze: return "pdm_analysis";
     case EventKind::kPlan: return "plan";
     case EventKind::kFmBounds: return "fm_bounds";
@@ -133,6 +134,7 @@ void append_args(std::ostringstream& os, const TraceEvent& ev) {
   os << "\"args\":{";
   switch (ev.kind) {
     case EventKind::kCacheProbe:
+    case EventKind::kDiskCacheProbe:
       os << "\"hit\":" << ev.args[0];
       break;
     case EventKind::kLeafExec:
@@ -228,8 +230,17 @@ struct EnvHooks {
       metrics_path = p;
       MetricsRegistry::instance().enable();
     }
-    if (!trace_path.empty() || !metrics_path.empty()) std::atexit(&dump);
   }
+
+  // The dump runs from this destructor, NOT an atexit handler registered in
+  // the constructor: such a handler is registered before the static's own
+  // __cxa_atexit destructor and therefore runs after it — reading the path
+  // strings post-destruction. (Short paths survived via SSO, heap-allocated
+  // ones came back corrupted: dumps silently failed for any path over the
+  // SSO threshold.) Here the members are alive by construction, and the
+  // recorder/registry singletons were constructed inside the constructor
+  // above, so they outlive this destructor too.
+  ~EnvHooks() { dump(); }
 
   static void dump();
 };

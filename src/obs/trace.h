@@ -38,7 +38,8 @@ enum class EventKind : std::uint8_t {
   // Compile-side spans.
   kParse = 0,
   kFingerprint,
-  kCacheProbe,  ///< args[0] = 1 on hit, 0 on miss
+  kCacheProbe,      ///< args[0] = 1 on hit, 0 on miss
+  kDiskCacheProbe,  ///< on-disk artifact cache probe; args[0] = 1 on hit
   kAnalyze,     ///< PDM computation
   kPlan,        ///< Algorithm-1 planning + legality
   kFmBounds,    ///< Fourier–Motzkin bound extraction (inside rewrite)

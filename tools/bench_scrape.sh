@@ -33,6 +33,9 @@ printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_thr
 # itself is enforced by the dedicated jit-smoke CI step, so a miss here
 # only shows up in the data, it doesn't abort the scrape.
 ("$build_dir"/bench_jit_speedup --partition-gate || true) | tee /dev/stderr >> "$tmp"
+# Cold-start rows likewise: the zero-cc warm-start bar is the cache-smoke CI
+# step's job; the scrape just records the cold/warm latency trajectory.
+("$build_dir"/bench_jit_speedup --cold-start-gate || true) | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_batch_serving | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_inspector | tee /dev/stderr >> "$tmp"
 

@@ -1,0 +1,111 @@
+// vdep-cache: management CLI over the on-disk artifact cache (src/cache/).
+//
+// The cache directory comes from --dir or $VDEP_CACHE_DIR — the same
+// resolution the compile pipeline uses, so what this tool inspects is
+// exactly what a Compiler/ToolchainCompiler pointed at the directory sees.
+//
+//   $ vdep-cache stats            # entry counts, byte usage, cap
+//   $ vdep-cache verify           # re-validate every stored artifact
+//   $ vdep-cache clear            # remove every entry
+//
+// `verify` re-opens each envelope, re-checks each kernel .so against the
+// digest in its .meta, and re-proves the Theorem-1 legality certificate of
+// each stored plan from its stored PDM — the same checks a cache reader
+// performs on a probe, applied to the whole directory at once.
+//
+// Exit status: 0 success (for verify: everything validated), 1 verify found
+// bad artifacts, 2 usage error or the directory could not be opened.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cache/disk_cache.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: vdep-cache [--dir <path>] <stats|verify|clear>\n"
+    "  --dir <path>   cache root (default: $VDEP_CACHE_DIR)\n";
+
+double mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string command;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--dir") {
+      if (a + 1 >= argc) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      dir = argv[++a];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (command != "stats" && command != "verify" && command != "clear") {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (dir.empty()) {
+    const char* env = std::getenv("VDEP_CACHE_DIR");
+    if (env && *env) dir = env;
+  }
+  if (dir.empty()) {
+    std::fputs("vdep-cache: no cache directory (--dir or $VDEP_CACHE_DIR)\n",
+               stderr);
+    return 2;
+  }
+
+  std::shared_ptr<vdep::cache::DiskCache> cache =
+      vdep::cache::DiskCache::open(dir);
+  if (!cache) {
+    std::fprintf(stderr, "vdep-cache: cannot open cache at %s\n", dir.c_str());
+    return 2;
+  }
+
+  if (command == "stats") {
+    vdep::cache::DiskUsage u = cache->usage();
+    std::printf("cache root:       %s\n", cache->dir().c_str());
+    std::printf("plan entries:     %zu\n", u.plan_entries);
+    std::printf("kernel entries:   %zu\n", u.kernel_entries);
+    std::printf("negative entries: %zu\n", u.negative_entries);
+    std::printf("bytes used:       %llu (%.2f MiB)\n",
+                static_cast<unsigned long long>(u.bytes), mib(u.bytes));
+    std::printf("byte cap:         %llu (%.2f MiB)\n",
+                static_cast<unsigned long long>(cache->max_bytes()),
+                mib(cache->max_bytes()));
+    return 0;
+  }
+
+  if (command == "clear") {
+    std::size_t removed = cache->clear();
+    std::printf("removed %zu file%s\n", removed, removed == 1 ? "" : "s");
+    return 0;
+  }
+
+  // verify
+  vdep::cache::VerifyReport report = cache->verify();
+  std::printf("plans ok:   %zu\n", report.plans_ok);
+  std::printf("kernels ok: %zu\n", report.kernels_ok);
+  if (report.ok()) {
+    std::printf("all artifacts validated\n");
+    return 0;
+  }
+  std::printf("bad artifacts: %zu\n", report.bad.size());
+  for (const std::string& p : report.bad)
+    std::printf("  %s\n", p.c_str());
+  return 1;
+}
