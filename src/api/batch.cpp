@@ -75,8 +75,8 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
 
       exec::ArrayStore* store = req.store;
       if (!store) {
-        owned_stores.push_back(
-            std::make_unique<exec::ArrayStore>(req.loop.nest()));
+        owned_stores.push_back(std::make_unique<exec::ArrayStore>(
+            req.loop.nest(), policy.placement(), threads));
         owned_stores.back()->fill_pattern();
         store = owned_stores.back().get();
       }
@@ -100,6 +100,8 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
         so.force_interpreter = policy.interpreter_only();
         so.trace = policy.trace();
         so.metrics = policy.metrics();
+        so.pin_workers = policy.pin_workers();
+        so.locality_splits = policy.locality_splits();
         group.executor = std::make_unique<runtime::StreamExecutor>(
             req.loop.nest(), req.loop.plan().transform, so);
         if (policy.backend() == ExecBackend::kJit) {
@@ -129,7 +131,8 @@ Expected<std::vector<ExecReport>> execute_batch_impl(
                          group.prototype.get()});
     }
 
-    runtime::BatchStats bs = runtime::run_batch(sources, threads, pool);
+    runtime::BatchStats bs =
+        runtime::run_batch(sources, threads, pool, policy.pin_workers());
     if (bs.error) {
       try {
         std::rethrow_exception(bs.error);

@@ -224,6 +224,7 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       io.force_interpreter = policy.interpreter_only();
       io.trace = policy.trace();
       io.metrics = policy.metrics();
+      io.pin_workers = policy.pin_workers();
       inspect::InspectorExecutor ex(*nest_, *part, io);
       runtime::RuntimeStats rs;
       {
@@ -250,6 +251,8 @@ Expected<ExecReport> CompiledLoop::execute_impl(const ExecPolicy& policy,
       so.force_interpreter = policy.interpreter_only();
       so.trace = policy.trace();
       so.metrics = policy.metrics();
+      so.pin_workers = policy.pin_workers();
+      so.locality_splits = policy.locality_splits();
       std::optional<runtime::StreamExecutor> ex;
       {
         obs::ScopedSpan span(obs::EventKind::kExecutorBuild, policy.trace(),
@@ -314,7 +317,11 @@ Expected<ExecReport> CompiledLoop::check_impl(const ExecPolicy& policy,
   return try_invoke([&]() -> ExecReport {
     exec::ArrayStore ref(*nest_);
     ref.fill_pattern();
-    exec::ArrayStore par = ref;
+    // The parallel store is built fresh under the policy's placement (not
+    // copied from ref — a copy would inherit the copying thread's pages)
+    // and refilled with the same deterministic pattern.
+    exec::ArrayStore par(*nest_, policy.placement(), policy.threads());
+    par.fill_pattern();
     exec::run_sequential(*nest_, ref);
     // value() re-raises the typed error so the outer try_invoke recaptures
     // it — execution failures and divergence surface the same way.

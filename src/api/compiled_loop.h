@@ -26,6 +26,7 @@
 #include "api/fingerprint.h"
 #include "codegen/emit_c.h"
 #include "dep/pdm.h"
+#include "exec/array_store.h"
 #include "exec/runner.h"
 #include "jit/toolchain.h"
 #include "support/expected.h"
@@ -113,6 +114,20 @@ class ExecPolicy {
   ExecPolicy& trace(bool v) { trace_ = v; return *this; }
   /// Same gate for the global obs::MetricsRegistry.
   ExecPolicy& metrics(bool v) { metrics_ = v; return *this; }
+  /// Pin each worker to its topology-assigned cpu for the run (previous
+  /// affinity restored afterwards). VDEP_PIN=0 overrides from outside.
+  /// Results are bit-identical either way; only placement changes.
+  ExecPolicy& pin_workers(bool v) { pin_workers_ = v; return *this; }
+  /// Prefer splitting descriptors along the largest-address-stride axis
+  /// (runtime/task.h SplitPrefs); off: always longest-axis.
+  ExecPolicy& locality_splits(bool v) { locality_splits_ = v; return *this; }
+  /// Page placement of stores this policy's run allocates itself (check()'s
+  /// parallel store, owned batch stores). Caller-provided stores keep
+  /// whatever placement they were built with.
+  ExecPolicy& placement(exec::ArrayStore::Placement p) {
+    placement_ = p;
+    return *this;
+  }
 
   ExecMode mode() const { return mode_; }
   std::size_t threads() const { return threads_; }  ///< 0 = hardware
@@ -124,6 +139,9 @@ class ExecPolicy {
   bool digest() const { return digest_; }
   bool trace() const { return trace_; }
   bool metrics() const { return metrics_; }
+  bool pin_workers() const { return pin_workers_; }
+  bool locality_splits() const { return locality_splits_; }
+  exec::ArrayStore::Placement placement() const { return placement_; }
 
  private:
   ExecMode mode_ = ExecMode::kStreaming;
@@ -135,6 +153,9 @@ class ExecPolicy {
   bool digest_ = true;
   bool trace_ = true;
   bool metrics_ = true;
+  bool pin_workers_ = true;
+  bool locality_splits_ = true;
+  exec::ArrayStore::Placement placement_ = exec::ArrayStore::Placement::kSerial;
 };
 
 // -------------------------------------------------------------- artifacts

@@ -1,15 +1,69 @@
 #include "exec/array_store.h"
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
 #include "support/error.h"
+#include "topo/affinity.h"
+#include "topo/topology.h"
 
 namespace vdep::exec {
 
-ArrayStore::ArrayStore(const loopir::LoopNest& nest) {
+namespace {
+
+/// First-touch granularity: whole pages, so two touch threads never split
+/// ownership of one page.
+constexpr std::size_t kPageElems = 4096 / sizeof(i64);
+/// Below this (64 KiB) the spawn/join costs more than the touch saves.
+constexpr std::size_t kParallelMinElems = (64u << 10) / sizeof(i64);
+
+}  // namespace
+
+ArrayStore::ArrayStore(const loopir::LoopNest& nest, Placement placement,
+                       std::size_t touch_threads) {
   for (const loopir::ArrayDecl& a : nest.arrays()) {
     Slot s;
     s.decl = a;
-    s.data.assign(static_cast<std::size_t>(a.element_count()), 0);
+    // resize() with UninitAlloc maps the pages without writing them; the
+    // zeroing pass below performs the first (placement-deciding) touch.
+    s.data.resize(static_cast<std::size_t>(a.element_count()));
     data_.emplace(a.name, std::move(s));
+  }
+  zero_all(placement, touch_threads);
+}
+
+void ArrayStore::zero_all(Placement placement, std::size_t touch_threads) {
+  const bool pinnable = topo::pin_supported() && topo::pin_env_enabled();
+  const topo::Topology& topology = topo::Topology::system();
+  std::size_t threads = touch_threads != 0 ? touch_threads
+                                           : topology.num_cpus();
+  threads = std::min<std::size_t>(threads, topology.num_cpus());
+  for (auto& [name, s] : data_) {
+    i64* p = s.data.data();
+    const std::size_t count = s.data.size();
+    if (placement != Placement::kFirstTouch || threads <= 1 || !pinnable ||
+        count < kParallelMinElems) {
+      if (count > 0) std::memset(p, 0, count * sizeof(i64));
+      continue;
+    }
+    // Page-aligned contiguous slices in worker order: worker k's slice is
+    // the one the driver's position-ordered pre-seed will hand it.
+    const std::vector<int> assignment = topology.assign_workers(threads);
+    const std::size_t pages = (count + kPageElems - 1) / kPageElems;
+    auto touch = [&](std::size_t k) {
+      topo::AffinityGuard pin(
+          topology.cpus()[static_cast<std::size_t>(assignment[k])].cpu);
+      const std::size_t lo = pages * k / threads * kPageElems;
+      const std::size_t hi =
+          std::min(count, pages * (k + 1) / threads * kPageElems);
+      if (hi > lo) std::memset(p + lo, 0, (hi - lo) * sizeof(i64));
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (std::size_t k = 1; k < threads; ++k) workers.emplace_back(touch, k);
+    touch(0);
+    for (std::thread& t : workers) t.join();
   }
 }
 
@@ -67,11 +121,11 @@ i64 ArrayStore::checksum() const {
   return static_cast<i64>(sum);
 }
 
-const std::vector<i64>& ArrayStore::raw(const std::string& array) const {
+const ArrayStore::Buffer& ArrayStore::raw(const std::string& array) const {
   return slot(array).data;
 }
 
-std::vector<i64>& ArrayStore::raw_mutable(const std::string& array) {
+ArrayStore::Buffer& ArrayStore::raw_mutable(const std::string& array) {
   return slot(array).data;
 }
 

@@ -154,7 +154,7 @@ CompiledKernel CompiledKernel::rebind(ArrayStore& other) const {
   auto rebase = [&](Access& a) {
     const loopir::ArrayDecl& decl =
         nest_.arrays()[static_cast<std::size_t>(a.array_ord)];
-    std::vector<i64>& buf = other.raw_mutable(decl.name);
+    ArrayStore::Buffer& buf = other.raw_mutable(decl.name);
     // The range proof ran against the construction store's sizes; it
     // transfers only to identically sized buffers.
     VDEP_REQUIRE(buf.size() == store_->raw(decl.name).size(),

@@ -84,6 +84,7 @@ runtime::RuntimeStats InspectorExecutor::run_impl(exec::ArrayStore& store,
   d.grain = grain_;
   d.trace = opts_.trace;
   d.metrics = opts_.metrics;
+  d.pin_workers = opts_.pin_workers;
   return runtime::drive_descriptors(root(), d, factory, pool);
 }
 

@@ -28,6 +28,8 @@ struct InspectorExecOptions {
   /// Observability gates, same semantics as runtime::StreamOptions.
   bool trace = true;
   bool metrics = true;
+  /// Pin workers to topology-assigned cpus (runtime::StreamOptions).
+  bool pin_workers = true;
 };
 
 class InspectorExecutor {

@@ -30,7 +30,7 @@ struct FlatAccess {
   struct Sub {
     const loopir::AffineExpr* aff = nullptr;  ///< affine slot
     const loopir::AffineExpr* pos = nullptr;  ///< indirect: index position
-    const std::vector<i64>* idx = nullptr;    ///< indirect: index buffer
+    const exec::ArrayStore::Buffer* idx = nullptr;  ///< indirect: index buffer
     i64 idx_lo = 0;                           ///< indirect: declared lo
   };
   std::vector<Sub> subs;

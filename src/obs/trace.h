@@ -57,7 +57,8 @@ enum class EventKind : std::uint8_t {
   kLeafExec,  ///< span; args = {cells, source, lo0, hi0, class_lo, class_hi}
   kSplit,     ///< instant; args = {axis, cells_kept, deque_size, source}
   kSteal,     ///< span over the idle episode that ended in the steal;
-              ///< args = {victim, source}
+              ///< args = {victim, source, distance} with distance one of
+              ///< topo::Topology's classes (0 same cpu .. 3 remote node)
   kIdle,      ///< span; one terminal idle episode (ended by shutdown)
   kNumKinds,
 };

@@ -2,15 +2,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/driver.h"
 #include "runtime/work_queue.h"
 #include "support/error.h"
+#include "topo/affinity.h"
+#include "topo/topology.h"
 
 namespace vdep::runtime {
 
@@ -43,7 +48,7 @@ i64 BatchStats::total_iterations() const {
 }
 
 BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
-                     ThreadPool* pool) {
+                     ThreadPool* pool, bool pin_workers) {
   const std::size_t ns = sources.size();
   BatchStats out;
   out.sources.resize(ns);
@@ -75,6 +80,12 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
   deques.reserve(threads);
   for (std::size_t k = 0; k < threads; ++k)
     deques.push_back(std::make_unique<WorkStealingDeque>());
+
+  // Topology: where each worker pins and whom it robs first (see
+  // runtime/driver.cpp — the batch loop mirrors its policy).
+  const topo::Topology& topology = topo::Topology::system();
+  const std::vector<int> assignment = topology.assign_workers(threads);
+  const bool pin = detail::effective_pin(pin_workers, threads);
 
   // Live descriptors per source plus the count of unfinished sources; a
   // worker may retire only descriptors it holds, so `pending` hitting zero
@@ -122,6 +133,27 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
   const i64 t0 = now_ns();
   const int n = static_cast<int>(threads);
   auto worker_main = [&](int id) {
+    // Pin for the batch's duration; the guard restores the thread's
+    // previous mask (worker 0 is the caller, pool threads are long-lived).
+    std::optional<topo::AffinityGuard> pin_guard;
+    if (pin)
+      pin_guard.emplace(
+          topology.cpus()[static_cast<std::size_t>(
+                              assignment[static_cast<std::size_t>(id)])]
+              .cpu);
+    // Victim probe order, nearest ring first, randomized start within each
+    // ring (same policy as drive_descriptors).
+    const std::vector<std::vector<int>> rings =
+        topology.steal_rings(assignment, id);
+    std::uint64_t rng =
+        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1);
+    auto next_rand = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+
     // Leaf runners of this worker context, one per source, built on the
     // first descriptor of that source this worker runs.
     std::vector<StreamExecutor::LeafFn> leaves(ns);
@@ -140,7 +172,7 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
       try {
         while (can_split(task, ex.grain())) {
           int axis = 0;
-          TaskDescriptor high = split(task, ex.grain(), &axis);
+          TaskDescriptor high = split(task, ex.grain(), &axis, &ex.split_prefs());
           pending[static_cast<std::size_t>(s)].count.fetch_add(
               1, std::memory_order_relaxed);
           deques[static_cast<std::size_t>(id)]->push(high);
@@ -197,7 +229,7 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
     WorkerStats& idle_stats = idle_acc[static_cast<std::size_t>(id)];
     int idle_sweeps = 0;
     i64 idle_t0 = 0;
-    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1) {
+    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1, i64 a2 = 0) {
       if (idle_t0 == 0) return;
       const i64 t1 = now_ns();
       idle_stats.idle_ns += t1 - idle_t0;
@@ -211,6 +243,7 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
         ev.worker = id;
         ev.args[0] = a0;
         ev.args[1] = a1;
+        ev.args[2] = a2;
         obs::TraceRecorder::record(ev);
       }
       idle_t0 = 0;
@@ -228,18 +261,31 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
         close_idle(obs::EventKind::kIdle, 0, 0);
         return;
       }
+      // Distance-ordered sweep, nearest ring first (driver.cpp). The
+      // per-distance counter lands on the stolen task's source block so
+      // the per-request traffic mix stays visible.
       bool stolen = false;
       int victim_id = -1;
-      for (int k = 1; k < n && !stolen; ++k) {
-        std::size_t victim = static_cast<std::size_t>((id + k) % n);
-        if (deques[victim]->steal(task)) {
-          ++stats_of(id, task.source).steals;
-          victim_id = static_cast<int>(victim);
-          stolen = true;
+      int victim_distance = 0;
+      for (int d = 0; d < topo::Topology::kNumDistances && !stolen; ++d) {
+        const std::vector<int>& ring = rings[static_cast<std::size_t>(d)];
+        if (ring.empty()) continue;
+        const std::size_t start = next_rand() % ring.size();
+        for (std::size_t k = 0; k < ring.size() && !stolen; ++k) {
+          const int victim = ring[(start + k) % ring.size()];
+          if (deques[static_cast<std::size_t>(victim)]->steal(task)) {
+            WorkerStats& st = stats_of(id, task.source);
+            ++st.steals;
+            ++st.steals_by_distance[d];
+            victim_id = victim;
+            victim_distance = d;
+            stolen = true;
+          }
         }
       }
       if (stolen) {
-        close_idle(obs::EventKind::kSteal, victim_id, task.source);
+        close_idle(obs::EventKind::kSteal, victim_id, task.source,
+                   victim_distance);
         process(task);
         idle_sweeps = 0;
       } else {
@@ -247,6 +293,8 @@ BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
         if (++idle_sweeps < 16) {
           std::this_thread::yield();
         } else {
+          // Re-check termination before backing off (see driver.cpp).
+          if (live_sources.load(std::memory_order_acquire) == 0) continue;
           std::this_thread::sleep_for(std::chrono::microseconds(
               std::min(50 * (idle_sweeps - 15), 1000)));
         }

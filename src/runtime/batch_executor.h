@@ -75,10 +75,12 @@ struct BatchStats {
 /// Runs every source's full descriptor rectangle over one shared worker
 /// set of `threads` contexts (0 = hardware concurrency). Root descriptors
 /// are seeded round-robin across the deques before any worker starts; each
-/// source splits by its own executor's grain. With `pool` the workers are
-/// the pool's threads plus the caller, otherwise threads are spawned for
-/// this batch.
+/// source splits by its own executor's grain and locality prefs. Workers
+/// pin to topology-assigned cpus (disable with `pin_workers` false or
+/// VDEP_PIN=0) and steal distance-ordered, nearest ring first. With `pool`
+/// the workers are the pool's threads plus the caller, otherwise threads
+/// are spawned for this batch.
 BatchStats run_batch(std::span<const BatchSource> sources, std::size_t threads,
-                     ThreadPool* pool);
+                     ThreadPool* pool, bool pin_workers = true);
 
 }  // namespace vdep::runtime

@@ -1,16 +1,21 @@
 #include "runtime/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/work_queue.h"
+#include "topo/affinity.h"
+#include "topo/topology.h"
 
 namespace vdep::runtime {
 
@@ -23,6 +28,50 @@ i64 now_ns() {
 }
 
 }  // namespace
+
+namespace detail {
+
+bool effective_pin(bool opt_in, std::size_t threads) {
+  return opt_in && threads > 1 && topo::pin_supported() &&
+         topo::pin_env_enabled();
+}
+
+std::vector<TaskDescriptor> preseed_pieces(const TaskDescriptor& root,
+                                           std::size_t threads, i64 grain,
+                                           const SplitPrefs& prefs,
+                                           WorkerStats& seeder) {
+  // Split the root into up to `threads` pieces before any worker starts,
+  // largest-first so the pieces stay balanced, then order them by position
+  // so deque k holds the k-th slice of the space — the slice a first-touch
+  // store placed near pinned worker k. The seeding splits are charged to
+  // worker 0's counters (each one still turns one descriptor into two, so
+  // tasks == splits + 1 holds run-wide).
+  std::vector<TaskDescriptor> pieces{root};
+  while (pieces.size() < threads) {
+    std::size_t fattest = pieces.size();
+    i64 most = 0;
+    for (std::size_t k = 0; k < pieces.size(); ++k) {
+      if (pieces[k].cells() > most && can_split(pieces[k], grain)) {
+        fattest = k;
+        most = pieces[k].cells();
+      }
+    }
+    if (fattest == pieces.size()) break;
+    int axis = 0;
+    pieces.push_back(split(pieces[fattest], grain, &axis, &prefs));
+    ++seeder.splits;
+    ++seeder.axis_splits[axis];
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const TaskDescriptor& a, const TaskDescriptor& b) {
+              for (int d = 0; d < a.ndims; ++d)
+                if (a.lo[d] != b.lo[d]) return a.lo[d] < b.lo[d];
+              return a.class_lo < b.class_lo;
+            });
+  return pieces;
+}
+
+}  // namespace detail
 
 RuntimeStats drive_descriptors(const TaskDescriptor& root,
                                const DriveOptions& opts,
@@ -39,10 +88,25 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
   for (std::size_t k = 0; k < threads; ++k)
     deques.push_back(std::make_unique<WorkStealingDeque>());
 
-  // Tasks alive (queued or executing). Seeded before any worker starts;
-  // thread creation publishes the push below to every worker.
-  std::atomic<i64> pending{1};
-  deques[0]->push(root);
+  // Topology: where each worker pins and whom it robs first. Computed even
+  // when pinning is off — the distance-ordered sweep is deterministic
+  // either way, and the per-distance counters stay meaningful relative to
+  // the assignment the workers *would* have.
+  const topo::Topology& topology = topo::Topology::system();
+  const std::vector<int> assignment = topology.assign_workers(threads);
+  const bool pin = detail::effective_pin(opts.pin_workers, threads);
+
+  // Tasks alive (queued or executing). Seeded before any worker starts
+  // (thread creation publishes the pushes to every worker): the root is
+  // pre-split into ~threads position-ordered pieces, one per deque, so
+  // pinned worker k begins on the slice of the space whose pages a
+  // first-touch store placed nearest to it instead of everyone queueing on
+  // worker 0's leftovers.
+  const std::vector<TaskDescriptor> pieces =
+      detail::preseed_pieces(root, threads, grain, opts.prefs, out.workers[0]);
+  std::atomic<i64> pending{static_cast<i64>(pieces.size())};
+  for (std::size_t k = 0; k < pieces.size(); ++k)
+    deques[k % threads]->push(pieces[k]);
 
   std::atomic<bool> abort{false};
   std::exception_ptr first_error;
@@ -70,6 +134,27 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
 
   const int n = static_cast<int>(threads);
   auto worker_main = [&](int id) {
+    // Pin for the run's duration; the guard restores the thread's previous
+    // mask (worker 0 is the caller, pool threads are long-lived).
+    std::optional<topo::AffinityGuard> pin_guard;
+    if (pin)
+      pin_guard.emplace(
+          topology.cpus()[static_cast<std::size_t>(
+                              assignment[static_cast<std::size_t>(id)])]
+              .cpu);
+    // Victim probe order, nearest ring first; the sweep randomizes its
+    // start within each ring (cheap xorshift, seeded per worker) so
+    // same-distance victims share the load.
+    const std::vector<std::vector<int>> rings =
+        topology.steal_rings(assignment, id);
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1);
+    auto next_rand = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+
     WorkerStats& stats = out.workers[static_cast<std::size_t>(id)];
     LeafFn leaf = leaf_factory(id, stats);
 
@@ -80,7 +165,7 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
         // keep refining the low half until it is a leaf, run it.
         while (can_split(task, grain)) {
           int axis = 0;
-          TaskDescriptor high = split(task, grain, &axis);
+          TaskDescriptor high = split(task, grain, &axis, &opts.prefs);
           pending.fetch_add(1, std::memory_order_relaxed);
           deques[static_cast<std::size_t>(id)]->push(high);
           ++stats.splits;
@@ -134,7 +219,7 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
     // idle (only its own process() pushes), so episodes close exactly there.
     int idle_sweeps = 0;
     i64 idle_t0 = 0;
-    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1) {
+    auto close_idle = [&](obs::EventKind kind, i64 a0, i64 a1, i64 a2 = 0) {
       if (idle_t0 == 0) return;
       const i64 t1 = now_ns();
       stats.idle_ns += t1 - idle_t0;
@@ -148,6 +233,7 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
         ev.worker = id;
         ev.args[0] = a0;
         ev.args[1] = a1;
+        ev.args[2] = a2;
         obs::TraceRecorder::record(ev);
       }
       idle_t0 = 0;
@@ -165,18 +251,30 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
         close_idle(obs::EventKind::kIdle, 0, 0);
         return;
       }
+      // Distance-ordered sweep: co-resident workers first (their deque is
+      // in this cpu's cache), then SMT siblings, same-node cores, and only
+      // then remote nodes; within a ring the start rotates randomly.
       bool stolen = false;
       int victim_id = -1;
-      for (int k = 1; k < n && !stolen; ++k) {
-        std::size_t victim = static_cast<std::size_t>((id + k) % n);
-        if (deques[victim]->steal(task)) {
-          ++stats.steals;
-          victim_id = static_cast<int>(victim);
-          stolen = true;
+      int victim_distance = 0;
+      for (int d = 0; d < topo::Topology::kNumDistances && !stolen; ++d) {
+        const std::vector<int>& ring = rings[static_cast<std::size_t>(d)];
+        if (ring.empty()) continue;
+        const std::size_t start = next_rand() % ring.size();
+        for (std::size_t k = 0; k < ring.size() && !stolen; ++k) {
+          const int victim = ring[(start + k) % ring.size()];
+          if (deques[static_cast<std::size_t>(victim)]->steal(task)) {
+            ++stats.steals;
+            ++stats.steals_by_distance[d];
+            victim_id = victim;
+            victim_distance = d;
+            stolen = true;
+          }
         }
       }
       if (stolen) {
-        close_idle(obs::EventKind::kSteal, victim_id, task.source);
+        close_idle(obs::EventKind::kSteal, victim_id, task.source,
+                   victim_distance);
         process(task);
         idle_sweeps = 0;
       } else {
@@ -185,7 +283,11 @@ RuntimeStats drive_descriptors(const TaskDescriptor& root,
           std::this_thread::yield();
         } else {
           // Nothing stealable for a while (e.g. one unsplittable descriptor
-          // left): back off instead of burning a core per idle worker.
+          // left): back off instead of burning a core per idle worker —
+          // but re-check termination first, or a worker backing off just as
+          // the last descriptor retires eats a full backoff before exiting
+          // (visible as tail idle_ns on small runs).
+          if (pending.load(std::memory_order_acquire) == 0) continue;
           std::this_thread::sleep_for(std::chrono::microseconds(
               std::min(50 * (idle_sweeps - 15), 1000)));
         }

@@ -1,9 +1,10 @@
 // The work-stealing descriptor driver, extracted from StreamExecutor so
 // every executor that speaks TaskDescriptor — the streaming plan executor,
 // the batch scheduler's cousins, and the inspector executor — shares one
-// battle-tested loop: Chase-Lev deques, depth-first splitting along the
-// longest axis, steal sweeps with idle backoff, first-error abort, and the
-// tracing/metrics gates.
+// battle-tested loop: Chase-Lev deques, workers pinned to topology-assigned
+// cpus, depth-first splitting along the longest (or locality-preferred)
+// axis, distance-ordered steal sweeps with idle backoff, first-error abort,
+// and the tracing/metrics gates.
 //
 // The driver owns *scheduling* only. What a leaf descriptor means (a boxed
 // DOALL prefix x class range to scan, a native-kernel range call, a run of
@@ -35,17 +36,36 @@ struct DriveOptions {
   bool trace = true;
   /// Same gate for the global obs::MetricsRegistry.
   bool metrics = true;
+  /// Pin each worker to the cpu topo::Topology::system().assign_workers
+  /// hands it for the duration of the run (previous affinity restored at
+  /// exit). Also honors the VDEP_PIN=0 environment opt-out; no-op on hosts
+  /// without sched_setaffinity.
+  bool pin_workers = true;
+  /// Locality weights for the split-axis choice (task.h). All-zero (the
+  /// default) keeps the longest-axis policy.
+  SplitPrefs prefs;
 };
 
 /// Splits `root` recursively down to `opts.grain` cells across
 /// `opts.threads` work-stealing workers and runs every leaf through the
-/// factory's LeafFns. With `pool` null, spawns threads - 1 helpers and uses
-/// the calling thread as worker 0; otherwise the pool's threads (plus the
-/// caller) claim the worker contexts. The first leaf exception aborts the
-/// run and is rethrown after all workers stop.
+/// factory's LeafFns. The root is pre-split into ~threads position-ordered
+/// pieces seeded one per deque, so pinned worker k starts on the k-th
+/// slice of the iteration space (the same slice a first-touch store placed
+/// on k's node); idle workers then steal nearest-first. With `pool` null,
+/// spawns threads - 1 helpers and uses the calling thread as worker 0;
+/// otherwise the pool's threads (plus the caller) claim the worker
+/// contexts. The first leaf exception aborts the run and is rethrown after
+/// all workers stop.
 RuntimeStats drive_descriptors(const TaskDescriptor& root,
                                const DriveOptions& opts,
                                const LeafFactory& leaf_factory,
                                ThreadPool* pool = nullptr);
+
+namespace detail {
+/// Whether a run should really pin: opted in, more than one worker, the
+/// host supports sched_setaffinity, and VDEP_PIN=0 is not set. Shared with
+/// the batch scheduler so both runs make the same call.
+bool effective_pin(bool opt_in, std::size_t threads);
+}  // namespace detail
 
 }  // namespace vdep::runtime

@@ -24,6 +24,12 @@ i64 RuntimeStats::total_steals() const {
   return n;
 }
 
+i64 RuntimeStats::total_steals_by_distance(int d) const {
+  i64 n = 0;
+  for (const WorkerStats& w : workers) n += w.steals_by_distance[d];
+  return n;
+}
+
 i64 RuntimeStats::total_iterations() const {
   i64 n = 0;
   for (const WorkerStats& w : workers) n += w.iterations;
@@ -77,6 +83,10 @@ std::string RuntimeStats::to_string() const {
   os << "splits by axis: outer " << total_axis_splits(0) << ", inner "
      << total_inner_splits() << ", classes "
      << total_axis_splits(TaskDescriptor::kClassAxis) << "\n";
+  os << "steals by distance: same_cpu " << total_steals_by_distance(0)
+     << ", smt_sibling " << total_steals_by_distance(1) << ", same_node "
+     << total_steals_by_distance(2) << ", remote_node "
+     << total_steals_by_distance(3) << "\n";
   const i64 attempts = total_steals() + total_failed_steals();
   os << "steal success rate: ";
   if (attempts == 0)
@@ -106,6 +116,14 @@ void publish_run_metrics(const std::vector<WorkerStats>& workers) {
       reg.counter("vdep_failed_steals_total", "empty full steal sweeps");
   static obs::Counter& iters =
       reg.counter("vdep_iterations_total", "loop-body iterations executed");
+  static obs::Counter& d_same_cpu = reg.counter(
+      "vdep_steals_same_cpu_total", "steals from a worker on the same cpu");
+  static obs::Counter& d_smt = reg.counter(
+      "vdep_steals_smt_sibling_total", "steals from an SMT sibling");
+  static obs::Counter& d_node = reg.counter(
+      "vdep_steals_same_node_total", "steals within the same NUMA node");
+  static obs::Counter& d_remote = reg.counter(
+      "vdep_steals_remote_node_total", "steals across NUMA nodes");
   for (const WorkerStats& w : workers) {
     busy.inc(w.busy_ns);
     idle.inc(w.idle_ns);
@@ -114,6 +132,10 @@ void publish_run_metrics(const std::vector<WorkerStats>& workers) {
     steals.inc(w.steals);
     failed.inc(w.failed_steals);
     iters.inc(w.iterations);
+    d_same_cpu.inc(w.steals_by_distance[0]);
+    d_smt.inc(w.steals_by_distance[1]);
+    d_node.inc(w.steals_by_distance[2]);
+    d_remote.inc(w.steals_by_distance[3]);
   }
 }
 

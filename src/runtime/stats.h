@@ -16,6 +16,11 @@ namespace vdep::runtime {
 
 using i64 = checked::i64;
 
+/// Steal-distance classes mirrored from topo::Topology (kSameCpu,
+/// kSmtSibling, kSameNode, kRemoteNode) — duplicated here so the counter
+/// block stays free of topology headers.
+inline constexpr int kStealDistances = 4;
+
 /// Private counters of one worker thread (no atomics: single writer, read
 /// only after the worker joined). Padded to a cache line so adjacent
 /// workers' counters never share one.
@@ -32,6 +37,10 @@ struct alignas(64) WorkerStats {
   /// dimensions (outermost first), slot kClassAxis the class range. Their
   /// sum equals `splits`.
   i64 axis_splits[TaskDescriptor::kMaxDims + 1] = {};
+  /// Successful steals by victim distance under the run's worker->cpu
+  /// assignment: same cpu (oversubscribed co-residents), SMT sibling, same
+  /// NUMA node, remote node. Their sum equals `steals`.
+  i64 steals_by_distance[kStealDistances] = {};
 };
 
 /// Aggregated run outcome.
@@ -42,6 +51,8 @@ struct RuntimeStats {
   i64 total_tasks() const;
   i64 total_splits() const;
   i64 total_steals() const;
+  /// Steals at one victim distance (0 = same cpu .. 3 = remote node).
+  i64 total_steals_by_distance(int d) const;
   i64 total_iterations() const;
   /// Splits along one axis (0..kMaxDims-1 or TaskDescriptor::kClassAxis).
   i64 total_axis_splits(int axis) const;

@@ -42,6 +42,7 @@ StreamExecutor::StreamExecutor(const loopir::LoopNest& original,
   compute_hull();
   int limit = opts_.split_dims > 0 ? opts_.split_dims : TaskDescriptor::kMaxDims;
   ndims_ = std::min(num_doall_, std::min(limit, TaskDescriptor::kMaxDims));
+  if (opts_.locality_splits) compute_split_prefs();
   threads_ = opts_.num_threads != 0
                  ? opts_.num_threads
                  : std::max(1u, std::thread::hardware_concurrency());
@@ -65,6 +66,54 @@ void StreamExecutor::compute_hull() {
   hull_.clear();
   hull_.reserve(static_cast<std::size_t>(num_doall_));
   for (const analysis::Interval& h : env.hulls()) hull_.emplace_back(h.lo, h.hi);
+}
+
+void StreamExecutor::compute_split_prefs() {
+  // Locality weight of boxed axis d: total absolute address movement (in
+  // elements, summed over the affine accesses) per unit step along
+  // transformed coordinate j_d. One step moves the original iteration by
+  // row d of T^{-1} (i = j T^{-1}), each subscript vector by F * that row
+  // (subscripts = F i + f0), and the flat address by the row-major strides
+  // of the array. Splitting the axis that moves addresses the most keeps
+  // each half's footprint contiguous; an axis no access depends on scores
+  // zero and ranks last among the DOALL axes.
+  try {
+  for (const loopir::LoopNest::Access& acc : original_.accesses()) {
+    const loopir::ArrayRef& ref = acc.ref;
+    if (ref.has_indirection()) continue;
+    const loopir::ArrayDecl* decl = nullptr;
+    for (const loopir::ArrayDecl& a : original_.arrays())
+      if (a.name == ref.array) decl = &a;
+    if (!decl) continue;
+    // Row-major element strides of the declared shape.
+    std::vector<i64> stride(static_cast<std::size_t>(decl->arity()), 1);
+    for (int s = decl->arity() - 2; s >= 0; --s)
+      stride[static_cast<std::size_t>(s)] = checked::mul(
+          stride[static_cast<std::size_t>(s + 1)],
+          decl->dims[static_cast<std::size_t>(s + 1)].second -
+              decl->dims[static_cast<std::size_t>(s + 1)].first + 1);
+    const intlin::Mat f = ref.linear_part();
+    for (int d = 0; d < ndims_; ++d) {
+      i64 delta = 0;
+      for (int s = 0; s < decl->arity(); ++s) {
+        i64 dsub = 0;
+        for (int c = 0; c < depth_; ++c) {
+          const i64 tinv = identity_ ? (c == d ? 1 : 0) : tn_.t_inverse.at(d, c);
+          dsub = checked::add(dsub, checked::mul(f.at(s, c), tinv));
+        }
+        delta = checked::add(delta,
+                             checked::mul(stride[static_cast<std::size_t>(s)],
+                                          dsub));
+      }
+      split_prefs_.stride[d] =
+          checked::add(split_prefs_.stride[d], checked::abs(delta));
+    }
+  }
+  } catch (const Error&) {
+    // Pathological shapes can overflow the stride products; locality is a
+    // heuristic, so fall back to the longest-axis policy rather than fail.
+    split_prefs_ = SplitPrefs{};
+  }
 }
 
 TaskDescriptor StreamExecutor::root() const {
@@ -166,6 +215,8 @@ RuntimeStats StreamExecutor::drive(const LeafFactory& leaf_factory,
   d.grain = grain_;
   d.trace = opts_.trace;
   d.metrics = opts_.metrics;
+  d.pin_workers = opts_.pin_workers;
+  d.prefs = split_prefs_;
   return drive_descriptors(root(), d, leaf_factory, pool);
 }
 

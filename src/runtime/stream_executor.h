@@ -52,6 +52,15 @@ struct StreamOptions {
   int split_dims = 0;
   /// Skip the compiled kernel and always interpret (tests / debugging).
   bool force_interpreter = false;
+  /// Pin each worker to its topology-assigned cpu for the run (previous
+  /// affinity restored afterwards); VDEP_PIN=0 overrides from outside.
+  /// Results are bit-identical either way — only placement changes.
+  bool pin_workers = true;
+  /// Prefer splitting descriptors along the axis with the largest address
+  /// stride (keeps each leaf's touched rows contiguous; task.h SplitPrefs),
+  /// falling back to the longest axis when the plan gives no signal. Off:
+  /// always longest-axis.
+  bool locality_splits = true;
   /// Allow this run to emit trace events when the global obs::TraceRecorder
   /// is enabled (leaf spans, split/steal/idle events). Off, the run never
   /// touches the recorder regardless of its state.
@@ -126,6 +135,10 @@ class StreamExecutor {
   i64 num_classes() const { return classes_; }
   std::size_t num_threads() const { return threads_; }
   const StreamOptions& options() const { return opts_; }
+  /// Locality weights of the boxed axes (all-zero unless locality_splits
+  /// found per-axis address strides to steer by). Shared with the batch
+  /// scheduler, which splits this executor's descriptors itself.
+  const SplitPrefs& split_prefs() const { return split_prefs_; }
 
  private:
   struct Worker;
@@ -141,6 +154,7 @@ class StreamExecutor {
   LeafFn make_scan_leaf(int id, WorkerStats& stats,
                         std::function<void(const Vec&)> body) const;
   void compute_hull();
+  void compute_split_prefs();
   void execute_leaf(const TaskDescriptor& task, Worker& w) const;
   void scan_prefix(int level, const TaskDescriptor& task,
                    const std::vector<Vec>& labels, Worker& w) const;
@@ -158,6 +172,7 @@ class StreamExecutor {
   i64 classes_ = 1;
   bool identity_ = true;  ///< T == I: transformed coords are original coords
   i64 grain_ = 1;
+  SplitPrefs split_prefs_;
   /// Rectangular hull [min, max] of each DOALL-prefix dimension over the
   /// transformed space (interval arithmetic over the bounds, outermost-in).
   std::vector<std::pair<i64, i64>> hull_;

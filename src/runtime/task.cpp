@@ -84,8 +84,31 @@ std::optional<TaskDescriptor> TaskDescriptor::from_string(
   return is.get() == '}' ? std::optional<TaskDescriptor>(t) : std::nullopt;
 }
 
-int pick_split_axis(const TaskDescriptor& t, i64 grain) {
+int pick_split_axis(const TaskDescriptor& t, i64 grain,
+                    const SplitPrefs* prefs) {
   if (t.cells() <= std::max<i64>(grain, 1)) return -1;
+  if (prefs != nullptr && prefs->any()) {
+    // Locality policy: among non-degenerate DOALL axes, the largest
+    // address stride wins (cutting there separates the halves' memory
+    // footprints instead of fragmenting contiguous runs); extent breaks
+    // stride ties, outermost breaks extent ties. The class range — whose
+    // memory footprint the stride model does not cover — only splits when
+    // no DOALL axis can.
+    int best = -1;
+    i64 best_stride = -1;
+    i64 best_extent = 1;
+    for (int d = 0; d < t.ndims; ++d) {
+      if (t.extent(d) <= 1) continue;
+      if (prefs->stride[d] > best_stride ||
+          (prefs->stride[d] == best_stride && t.extent(d) > best_extent)) {
+        best = d;
+        best_stride = prefs->stride[d];
+        best_extent = t.extent(d);
+      }
+    }
+    if (best >= 0) return best;
+    return t.class_extent() > 1 ? TaskDescriptor::kClassAxis : -1;
+  }
   // Longest axis wins; strict comparisons keep ties on the outermost
   // dimension and make the class range the last resort.
   int best = -1;
@@ -104,8 +127,9 @@ bool can_split(const TaskDescriptor& t, i64 grain) {
   return pick_split_axis(t, grain) >= 0;
 }
 
-TaskDescriptor split(TaskDescriptor& t, i64 grain, int* axis_out) {
-  int axis = pick_split_axis(t, grain);
+TaskDescriptor split(TaskDescriptor& t, i64 grain, int* axis_out,
+                     const SplitPrefs* prefs) {
+  int axis = pick_split_axis(t, grain, prefs);
   VDEP_CHECK(axis >= 0, "descriptor is not splittable");
   if (axis_out) *axis_out = axis;
   TaskDescriptor high = t;

@@ -66,21 +66,47 @@ struct TaskDescriptor {
   static std::optional<TaskDescriptor> from_string(const std::string& s);
 };
 
-/// The axis split() would divide: the longest axis with extent > 1, ties
-/// going to the outermost dimension and the class range (id kClassAxis)
-/// treated as the innermost axis. -1 when the descriptor is a leaf: at most
-/// max(grain, 1) cells, or every axis degenerate.
-int pick_split_axis(const TaskDescriptor& t, i64 grain);
+/// Locality weights steering which axis splits first. stride[d] is the
+/// total absolute address movement (in elements, summed over the plan's
+/// affine accesses) caused by one step along boxed axis d — large-stride
+/// axes separate leaves' memory footprints, small-stride axes cut through
+/// contiguous runs. Computed once per plan by StreamExecutor from the
+/// arrays' row-major strides and the transform inverse.
+struct SplitPrefs {
+  i64 stride[TaskDescriptor::kMaxDims] = {};
+
+  /// False when every weight is zero — the default longest-axis policy
+  /// applies unchanged.
+  bool any() const {
+    for (i64 s : stride)
+      if (s != 0) return true;
+    return false;
+  }
+};
+
+/// The axis split() would divide. Default policy (null/empty `prefs`): the
+/// longest axis with extent > 1, ties going to the outermost dimension and
+/// the class range (id kClassAxis) treated as the innermost axis. With
+/// locality prefs, the splittable DOALL axis with the largest address
+/// stride wins instead (ties by extent, then outermost) — splitting the
+/// max-stride axis keeps each leaf's touched rows contiguous — and the
+/// class range becomes the last resort. -1 when the descriptor is a leaf:
+/// at most max(grain, 1) cells, or every axis degenerate. The *splittable*
+/// set never depends on prefs, only the choice among splittable axes does.
+int pick_split_axis(const TaskDescriptor& t, i64 grain,
+                    const SplitPrefs* prefs = nullptr);
 
 /// Whether split() may divide `t`: more than max(grain, 1) cells and some
-/// axis longer than 1. Degenerate axes are never split.
+/// axis longer than 1. Degenerate axes are never split. Independent of any
+/// SplitPrefs by construction.
 bool can_split(const TaskDescriptor& t, i64 grain);
 
 /// Divides `t` in two along pick_split_axis. `t` keeps the low half; the
 /// returned descriptor is the high half. Requires can_split(t, grain).
 /// `axis_out`, when non-null, receives the chosen axis id (per-axis split
 /// counters in stats.h).
-TaskDescriptor split(TaskDescriptor& t, i64 grain, int* axis_out = nullptr);
+TaskDescriptor split(TaskDescriptor& t, i64 grain, int* axis_out = nullptr,
+                     const SplitPrefs* prefs = nullptr);
 
 /// Grain heuristic: aim for ~`tasks_per_worker` leaf descriptors per worker
 /// by total cells, never below 1.

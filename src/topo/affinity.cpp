@@ -1,0 +1,74 @@
+#include "topo/affinity.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace vdep::topo {
+
+#ifdef __linux__
+
+CpuSet CpuSet::current() {
+  CpuSet out;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) return out;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(c, &mask)) out.cpus_.push_back(c);
+  return out;
+}
+
+bool CpuSet::apply() const {
+  if (cpus_.empty()) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (int c : cpus_)
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &mask);
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+}
+
+bool pin_supported() { return true; }
+
+#else  // !__linux__
+
+CpuSet CpuSet::current() { return {}; }
+bool CpuSet::apply() const { return false; }
+bool pin_supported() { return false; }
+
+#endif
+
+void CpuSet::set(int cpu) {
+  if (std::find(cpus_.begin(), cpus_.end(), cpu) == cpus_.end())
+    cpus_.push_back(cpu);
+  std::sort(cpus_.begin(), cpus_.end());
+}
+
+bool CpuSet::test(int cpu) const {
+  return std::find(cpus_.begin(), cpus_.end(), cpu) != cpus_.end();
+}
+
+bool pin_env_enabled() {
+  const char* v = std::getenv("VDEP_PIN");
+  return v == nullptr || std::strcmp(v, "0") != 0;
+}
+
+std::vector<int> allowed_cpus() { return CpuSet::current().cpus(); }
+
+AffinityGuard::AffinityGuard(int cpu) {
+  if (!pin_supported()) return;
+  saved_ = CpuSet::current();
+  if (saved_.empty()) return;
+  CpuSet target;
+  target.set(cpu);
+  pinned_ = target.apply();
+}
+
+AffinityGuard::~AffinityGuard() {
+  if (pinned_) saved_.apply();
+}
+
+}  // namespace vdep::topo

@@ -1,0 +1,65 @@
+// Thread-affinity helpers over sched_{get,set}affinity.
+//
+// Pinning in this runtime is always *restorative*: worker 0 is the calling
+// thread and pool threads are long-lived, so a run must never leave its
+// affinity footprint behind. AffinityGuard pins on construction and puts
+// the previous mask back on destruction.
+//
+// Non-Linux builds compile to no-ops (pin_supported() == false); the
+// scheduler keeps its topology-ordered stealing either way, it just cannot
+// promise the workers stay where it assumed.
+#pragma once
+
+#include <vector>
+
+namespace vdep::topo {
+
+/// A set of kernel cpu ids (a thin, copyable wrapper over cpu_set_t).
+class CpuSet {
+ public:
+  /// The calling thread's current affinity mask; empty set on failure.
+  static CpuSet current();
+
+  void set(int cpu);
+  bool test(int cpu) const;
+  int count() const { return static_cast<int>(cpus_.size()); }
+  bool empty() const { return cpus_.empty(); }
+  /// Member cpu ids, ascending.
+  const std::vector<int>& cpus() const { return cpus_; }
+
+  /// sched_setaffinity(0, *this). False when unsupported or rejected
+  /// (empty set, cpu outside the cgroup mask).
+  bool apply() const;
+
+ private:
+  std::vector<int> cpus_;
+};
+
+/// Whether this build/host can pin at all.
+bool pin_supported();
+
+/// Runtime opt-out: false when the environment sets VDEP_PIN=0.
+bool pin_env_enabled();
+
+/// The process's allowed cpu ids (sched_getaffinity); empty when the mask
+/// cannot be read. Topology::system() intersects discovery with this.
+std::vector<int> allowed_cpus();
+
+/// RAII pin of the calling thread to one cpu; restores the thread's
+/// previous mask on destruction. Construction with an unsupported host or
+/// a rejected cpu leaves the thread untouched (pinned() == false).
+class AffinityGuard {
+ public:
+  explicit AffinityGuard(int cpu);
+  ~AffinityGuard();
+  AffinityGuard(const AffinityGuard&) = delete;
+  AffinityGuard& operator=(const AffinityGuard&) = delete;
+
+  bool pinned() const { return pinned_; }
+
+ private:
+  CpuSet saved_;
+  bool pinned_ = false;
+};
+
+}  // namespace vdep::topo

@@ -23,10 +23,31 @@ build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
 git_sha=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null \
           || echo unknown)
 hw=$(nproc 2>/dev/null || echo 0)
-printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_threads":%s}\n' \
-  "${cxx_id//\"/\\\"}" "${build_type:-unknown}" "$git_sha" "$hw" >> "$tmp"
+# Topology fields (sysfs; degrade to 0 where the host exposes nothing —
+# e.g. containers without /sys/devices/system/node).
+cpu_sysfs=/sys/devices/system/cpu
+sockets=$(cat "$cpu_sysfs"/cpu*/topology/physical_package_id 2>/dev/null \
+          | sort -u | wc -l)
+numa_nodes=$(ls -d /sys/devices/system/node/node* 2>/dev/null | wc -l)
+# Physical cores = unique (package, core) pairs; core ids alone repeat
+# across sockets.
+cores=$(for c in "$cpu_sysfs"/cpu[0-9]*; do
+  [ -r "$c/topology/core_id" ] || continue
+  echo "$(cat "$c/topology/physical_package_id" 2>/dev/null || echo 0):$(cat "$c/topology/core_id")"
+done | sort -u | wc -l)
+smt=0
+if [ "${cores:-0}" -gt 0 ] && [ "$hw" -gt 0 ]; then
+  smt=$(( (hw + cores - 1) / cores ))
+fi
+printf '{"bench":"host","compiler":"%s","build_type":"%s","git_sha":"%s","hw_threads":%s,"sockets":%s,"numa_nodes":%s,"cores":%s,"smt":%s}\n' \
+  "${cxx_id//\"/\\\"}" "${build_type:-unknown}" "$git_sha" "$hw" \
+  "${sockets:-0}" "${numa_nodes:-0}" "${cores:-0}" "$smt" >> "$tmp"
 
 "$build_dir"/bench_runtime_throughput | tee /dev/stderr >> "$tmp"
+# Gate rows (best-of-3 skewed speedups, or the structured gate_skip row on
+# small hosts) join the trajectory; pass/fail is the bench-smoke CI step's
+# job, not the scrape's.
+("$build_dir"/bench_runtime_throughput --gate || true) | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_plan_cache | tee /dev/stderr >> "$tmp"
 "$build_dir"/bench_jit_speedup | tee /dev/stderr >> "$tmp"
 # Partition-gate lines are scraped for the trajectory; the pass/fail bar
